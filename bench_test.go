@@ -1,0 +1,400 @@
+// Repository-level benchmarks: one per table and figure of the paper's
+// evaluation section, plus the ablation benches DESIGN.md calls out and
+// microbenchmarks of the load-bearing substrates.
+//
+// Campaign benches run reduced-size campaigns per iteration and report the
+// outcome rates via b.ReportMetric, so `go test -bench=. -benchmem`
+// regenerates the paper's headline numbers in shape:
+//
+//	go test -bench=Fig7 -benchtime=1x       # the Figure 7 grid
+//	go test -bench=Table3 -benchtime=1x     # the metadata campaign
+package ffis
+
+import (
+	"sync"
+	"testing"
+
+	"ffis/internal/apps/montage"
+	"ffis/internal/apps/nyx"
+	"ffis/internal/apps/qmcpack"
+	"ffis/internal/classify"
+	"ffis/internal/core"
+	"ffis/internal/experiments"
+	"ffis/internal/hdf5"
+	"ffis/internal/metainject"
+	"ffis/internal/stats"
+	"ffis/internal/vfs"
+)
+
+// benchOpts shrinks campaigns so each bench iteration stays around a
+// second; cmd/experiments runs the full paper scale.
+func benchOpts() experiments.Options {
+	return experiments.Options{
+		Runs:       24,
+		Seed:       2021,
+		NyxN:       24,
+		MetaStride: 5,
+	}
+}
+
+func reportTally(b *testing.B, t classify.Tally) {
+	b.ReportMetric(100*t.Rate(classify.Benign).P(), "benign%")
+	b.ReportMetric(100*t.Rate(classify.SDC).P(), "SDC%")
+	b.ReportMetric(100*t.Rate(classify.Detected).P(), "detected%")
+	b.ReportMetric(100*t.Rate(classify.Crash).P(), "crash%")
+}
+
+// --- Table I ---------------------------------------------------------------
+
+func BenchmarkTable1FaultModels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Table1() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// --- Table III: metadata byte campaign --------------------------------------
+
+func BenchmarkTable3MetadataCampaign(b *testing.B) {
+	var last *metainject.Result
+	for i := 0; i < b.N; i++ {
+		_, res, err := experiments.Table3(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	reportTally(b, last.Tally)
+}
+
+// --- Table IV: directed field study -----------------------------------------
+
+func BenchmarkTable4FieldStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, effects, err := experiments.Table4(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(effects) != 6 {
+			b.Fatalf("%d effects", len(effects))
+		}
+	}
+}
+
+// --- Figures 5, 6, 8, 9 ------------------------------------------------------
+
+func BenchmarkFig5FieldVisuals(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig5(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6MantissaSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8MassHistogram(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9MontageDropped(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig9(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 7: the main characterization grid -------------------------------
+
+// Workload construction is expensive (Monte Carlo, golden pipelines); build
+// each cell once and share it across bench iterations.
+var (
+	workloadOnce  sync.Once
+	workloadCache map[string]core.Workload
+)
+
+func cachedWorkload(b *testing.B, cell string) core.Workload {
+	workloadOnce.Do(func() {
+		workloadCache = map[string]core.Workload{}
+		for _, c := range experiments.Fig7Cells {
+			w, err := experiments.NewWorkload(c, benchOpts())
+			if err != nil {
+				b.Fatalf("workload %s: %v", c, err)
+			}
+			workloadCache[c] = w
+		}
+	})
+	return workloadCache[cell]
+}
+
+func benchCell(b *testing.B, cell string, model core.FaultModel) {
+	w := cachedWorkload(b, cell)
+	opts := benchOpts()
+	var last classify.Tally
+	for i := 0; i < b.N; i++ {
+		res, err := core.Campaign(core.CampaignConfig{
+			Fault: core.Config{Model: model},
+			Runs:  opts.Runs,
+			Seed:  opts.Seed + uint64(i),
+		}, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res.Tally
+	}
+	reportTally(b, last)
+}
+
+func BenchmarkFig7_Nyx_BitFlip(b *testing.B)      { benchCell(b, "nyx", core.BitFlip) }
+func BenchmarkFig7_Nyx_ShornWrite(b *testing.B)   { benchCell(b, "nyx", core.ShornWrite) }
+func BenchmarkFig7_Nyx_DroppedWrite(b *testing.B) { benchCell(b, "nyx", core.DroppedWrite) }
+
+func BenchmarkFig7_QMC_BitFlip(b *testing.B)      { benchCell(b, "qmcpack", core.BitFlip) }
+func BenchmarkFig7_QMC_ShornWrite(b *testing.B)   { benchCell(b, "qmcpack", core.ShornWrite) }
+func BenchmarkFig7_QMC_DroppedWrite(b *testing.B) { benchCell(b, "qmcpack", core.DroppedWrite) }
+
+func BenchmarkFig7_MT1_BitFlip(b *testing.B)      { benchCell(b, "MT1", core.BitFlip) }
+func BenchmarkFig7_MT1_ShornWrite(b *testing.B)   { benchCell(b, "MT1", core.ShornWrite) }
+func BenchmarkFig7_MT1_DroppedWrite(b *testing.B) { benchCell(b, "MT1", core.DroppedWrite) }
+
+func BenchmarkFig7_MT2_BitFlip(b *testing.B)      { benchCell(b, "MT2", core.BitFlip) }
+func BenchmarkFig7_MT2_ShornWrite(b *testing.B)   { benchCell(b, "MT2", core.ShornWrite) }
+func BenchmarkFig7_MT2_DroppedWrite(b *testing.B) { benchCell(b, "MT2", core.DroppedWrite) }
+
+func BenchmarkFig7_MT3_BitFlip(b *testing.B)      { benchCell(b, "MT3", core.BitFlip) }
+func BenchmarkFig7_MT3_ShornWrite(b *testing.B)   { benchCell(b, "MT3", core.ShornWrite) }
+func BenchmarkFig7_MT3_DroppedWrite(b *testing.B) { benchCell(b, "MT3", core.DroppedWrite) }
+
+func BenchmarkFig7_MT4_BitFlip(b *testing.B)      { benchCell(b, "MT4", core.BitFlip) }
+func BenchmarkFig7_MT4_ShornWrite(b *testing.B)   { benchCell(b, "MT4", core.ShornWrite) }
+func BenchmarkFig7_MT4_DroppedWrite(b *testing.B) { benchCell(b, "MT4", core.DroppedWrite) }
+
+// --- Ablations (DESIGN.md §5) ------------------------------------------------
+
+// BenchmarkAblationFlipWidth compares the paper's 2-bit flips against the
+// 4-bit variant of footnote 3 ("the SDC rate remains minimal for Nyx").
+func BenchmarkAblationFlipWidth(b *testing.B) {
+	for _, width := range []int{2, 4} {
+		width := width
+		b.Run(map[int]string{2: "2bit", 4: "4bit"}[width], func(b *testing.B) {
+			w := cachedWorkload(b, "nyx")
+			var last classify.Tally
+			for i := 0; i < b.N; i++ {
+				res, err := core.Campaign(core.CampaignConfig{
+					Fault: core.Config{Model: core.BitFlip, Feature: core.Feature{FlipBits: width}},
+					Runs:  benchOpts().Runs,
+					Seed:  99,
+				}, w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.Tally
+			}
+			reportTally(b, last)
+		})
+	}
+}
+
+// BenchmarkAblationShornFraction compares the 3/8 and 7/8 shorn-write
+// variants of Table I.
+func BenchmarkAblationShornFraction(b *testing.B) {
+	for _, keep := range []int{3, 7} {
+		keep := keep
+		b.Run(map[int]string{3: "keep3of8", 7: "keep7of8"}[keep], func(b *testing.B) {
+			w := cachedWorkload(b, "qmcpack")
+			var last classify.Tally
+			for i := 0; i < b.N; i++ {
+				res, err := core.Campaign(core.CampaignConfig{
+					Fault: core.Config{Model: core.ShornWrite, Feature: core.Feature{ShornKeepNum: keep, ShornKeepDen: 8}},
+					Runs:  benchOpts().Runs,
+					Seed:  99,
+				}, w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.Tally
+			}
+			reportTally(b, last)
+		})
+	}
+}
+
+// BenchmarkAblationHaloThreshold sweeps the halo candidate threshold around
+// Nyx's 81.66 constant.
+func BenchmarkAblationHaloThreshold(b *testing.B) {
+	sim := nyx.DefaultSim()
+	sim.N = 24
+	sim.NumHalos = 4
+	field := sim.Generate()
+	for _, factor := range []float64{40, 81.66, 120} {
+		factor := factor
+		b.Run(map[float64]string{40: "40x", 81.66: "81.66x", 120: "120x"}[factor], func(b *testing.B) {
+			var halos int
+			for i := 0; i < b.N; i++ {
+				cat := nyx.FindHalos(field, sim.N, nyx.HaloConfig{ThresholdFactor: factor, MinCells: 10})
+				halos = len(cat.Halos)
+			}
+			b.ReportMetric(float64(halos), "halos")
+		})
+	}
+}
+
+// BenchmarkAblationAvgTolerance sweeps the average-value detector tolerance
+// around the paper's 0.1% and reports how many dropped-write runs it flags.
+func BenchmarkAblationAvgTolerance(b *testing.B) {
+	w := cachedWorkload(b, "nyx")
+	sig := core.Config{Model: core.DroppedWrite}.Signature()
+	count, err := core.Profile(w, sig)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tol := range []float64{1e-4, 1e-3, 1e-2} {
+		tol := tol
+		b.Run(map[float64]string{1e-4: "0.01%", 1e-3: "0.1%", 1e-2: "1%"}[tol], func(b *testing.B) {
+			flagged, total := 0, 0
+			for i := 0; i < b.N; i++ {
+				rng := stats.NewRNG(uint64(i) + 5)
+				fs := vfs.NewMemFS()
+				inj := core.NewInjector(sig, int64(rng.Intn(int(count))), rng)
+				if err := w.Run(inj.Wrap(fs)); err != nil {
+					continue
+				}
+				cat, err := nyx.RunHaloFinder(fs, nyx.OutputPath, nyx.DefaultHalo())
+				if err != nil {
+					continue
+				}
+				total++
+				if dev := cat.Mean - 1; dev > tol || dev < -tol {
+					flagged++
+				}
+			}
+			if total > 0 {
+				b.ReportMetric(100*float64(flagged)/float64(total), "flagged%")
+			}
+		})
+	}
+}
+
+// --- Substrate microbenchmarks ------------------------------------------------
+
+func BenchmarkMemFSWrite4K(b *testing.B) {
+	fs := vfs.NewMemFS()
+	f, err := fs.Create("/bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.WriteAt(buf, int64(i%1024)*4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInjectorOverheadDisarmed(b *testing.B) {
+	fs := core.Disarmed(core.Config{Model: core.BitFlip}.Signature()).Wrap(vfs.NewMemFS())
+	f, err := fs.Create("/bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.WriteAt(buf, int64(i%1024)*4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHDF5WriteRead(b *testing.B) {
+	sim := nyx.DefaultSim()
+	sim.N = 24
+	sim.NumHalos = 4
+	field := sim.Generate()
+	b.SetBytes(int64(len(field) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs := vfs.NewMemFS()
+		fs.MkdirAll("/plt00000")
+		if err := nyx.WriteDataset(fs, nyx.OutputPath, field, sim.N); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := nyx.ReadDataset(fs, nyx.OutputPath); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFloatDecodeGeneric(b *testing.B) {
+	spec := hdf5.IEEE754Single() // non-fast-path geometry
+	raw := spec.EncodeSlice(make([]float64, 1024))
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spec.DecodeSlice(raw, 1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHaloFinder(b *testing.B) {
+	sim := nyx.DefaultSim()
+	sim.N = 32
+	sim.NumHalos = 6
+	field := sim.Generate()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cat := nyx.FindHalos(field, sim.N, nyx.DefaultHalo())
+		if len(cat.Halos) == 0 {
+			b.Fatal("no halos")
+		}
+	}
+}
+
+func BenchmarkQMCLocalEnergySteps(b *testing.B) {
+	cfg := qmcpack.DefaultQMC()
+	cfg.Walkers = 32
+	cfg.VMCEquil = 0
+	cfg.VMCSteps = 8
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, _ := qmcpack.RunVMC(cfg, qmcpack.TrialForBench())
+		if len(rows) != 8 {
+			b.Fatal("rows")
+		}
+	}
+}
+
+func BenchmarkMontagePipeline(b *testing.B) {
+	cfg := montage.DefaultConfig()
+	cfg.Tiles = 6
+	cfg.TileW, cfg.TileH = 48, 48
+	cfg.MosaicW, cfg.MosaicH = 110, 110
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs := vfs.NewMemFS()
+		if err := cfg.WriteRawTiles(fs); err != nil {
+			b.Fatal(err)
+		}
+		if err := cfg.RunPipeline(fs, montage.StageProject, montage.StageAdd); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -all -runs 1000            # everything, paper scale
+//	experiments -table 3                   # just the metadata campaign
+//	experiments -fig 7 -runs 200           # the characterization, reduced
+//	experiments -fig 5 -outdir ./artifacts # writes PGM visualizations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ffis/internal/experiments"
+)
+
+func main() {
+	var (
+		table    = flag.Int("table", 0, "regenerate one table (1-4)")
+		fig      = flag.Int("fig", 0, "regenerate one figure (5-9)")
+		all      = flag.Bool("all", false, "regenerate every table and figure")
+		runs     = flag.Int("runs", 1000, "runs per Figure 7 campaign cell")
+		seed     = flag.Uint64("seed", 2021, "campaign seed")
+		workers  = flag.Int("workers", 0, "parallel runs (0 = GOMAXPROCS)")
+		nyxN     = flag.Int("nyx-n", 0, "override the Nyx grid edge")
+		stride   = flag.Int("meta-stride", 1, "Table III byte stride (1 = exhaustive)")
+		useAvg   = flag.Bool("avg-detector", false, "apply the Nyx average-value method in Figure 7")
+		ablation = flag.Bool("ablation", false, "run the design-choice ablation sweeps")
+		detector = flag.Bool("detector-study", false, "run the Nyx with/without average-value comparison")
+		outdir   = flag.String("outdir", "", "directory for image artifacts (Figures 5 and 9)")
+	)
+	flag.Parse()
+
+	o := experiments.Options{
+		Runs:           *runs,
+		Seed:           *seed,
+		Workers:        *workers,
+		NyxN:           *nyxN,
+		MetaStride:     *stride,
+		UseAvgDetector: *useAvg,
+	}
+
+	die := func(err error) {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	saveImages := func(prefix string, images map[string][]byte) {
+		if *outdir == "" {
+			return
+		}
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			die(err)
+		}
+		for name, data := range images {
+			p := filepath.Join(*outdir, fmt.Sprintf("%s_%s.pgm", prefix, name))
+			if err := os.WriteFile(p, data, 0o644); err != nil {
+				die(err)
+			}
+			fmt.Printf("  wrote %s\n", p)
+		}
+	}
+
+	wantTable := func(n int) bool { return *all || *table == n }
+	wantFig := func(n int) bool { return *all || *fig == n }
+	ranSomething := false
+
+	if wantTable(1) {
+		fmt.Println(experiments.Table1())
+		ranSomething = true
+	}
+	if wantTable(2) {
+		fmt.Println(experiments.Table2())
+		ranSomething = true
+	}
+	if wantTable(3) {
+		out, _, err := experiments.Table3(o)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(out)
+		ranSomething = true
+	}
+	if wantTable(4) {
+		out, _, err := experiments.Table4(o)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(out)
+		ranSomething = true
+	}
+	if wantFig(5) {
+		out, images, err := experiments.Fig5(o)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(out)
+		saveImages("fig5", images)
+		ranSomething = true
+	}
+	if wantFig(6) {
+		out, err := experiments.Fig6(o)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(out)
+		ranSomething = true
+	}
+	if wantFig(7) {
+		out, _, err := experiments.Fig7(o)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(out)
+		ranSomething = true
+	}
+	if wantFig(8) {
+		out, err := experiments.Fig8(o)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(out)
+		ranSomething = true
+	}
+	if wantFig(9) {
+		out, images, err := experiments.Fig9(o)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(out)
+		saveImages("fig9", images)
+		ranSomething = true
+	}
+	if *ablation || *all {
+		out, err := experiments.Ablations(o)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(out)
+		ranSomething = true
+	}
+	if *detector || *all {
+		out, err := experiments.Fig7WithDetector(o)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(out)
+		ranSomething = true
+	}
+	if !ranSomething {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

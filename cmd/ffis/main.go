@@ -1,0 +1,100 @@
+// Command ffis runs a single fault-injection campaign cell: one application
+// (nyx, qmcpack, MT1..MT4) under one fault model (bf, sw, dw), mirroring the
+// paper's per-cell methodology (profile, N randomized injections, outcome
+// classification).
+//
+// Usage:
+//
+//	ffis -app nyx -model dw -runs 1000
+//	ffis -app MT2 -model sw -runs 200 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ffis/internal/classify"
+	"ffis/internal/core"
+	"ffis/internal/experiments"
+	"ffis/internal/trace"
+	"ffis/internal/vfs"
+)
+
+func main() {
+	var (
+		app       = flag.String("app", "nyx", "campaign cell: nyx, qmcpack, MT1, MT2, MT3, MT4")
+		model     = flag.String("model", "bf", "fault model: bf (bit flip), sw (shorn write), dw (dropped write)")
+		runs      = flag.Int("runs", 1000, "fault-injection runs (the paper uses 1000)")
+		seed      = flag.Uint64("seed", 2021, "campaign seed")
+		workers   = flag.Int("workers", 0, "parallel runs (0 = GOMAXPROCS)")
+		nyxN      = flag.Int("nyx-n", 0, "override the Nyx grid edge (0 = default 48)")
+		useAvg    = flag.Bool("avg-detector", false, "apply the Nyx average-value detection method")
+		asCSV     = flag.Bool("csv", false, "emit CSV instead of a table")
+		asJSON    = flag.Bool("json", false, "emit the machine-readable JSON result")
+		showTrace = flag.Bool("trace", false, "print the workload's fault-free I/O pattern profile first")
+	)
+	flag.Parse()
+
+	var fm core.FaultModel
+	switch strings.ToLower(*model) {
+	case "bf", "bitflip", "bit-flip":
+		fm = core.BitFlip
+	case "sw", "shorn", "shorn-write":
+		fm = core.ShornWrite
+	case "dw", "dropped", "dropped-write":
+		fm = core.DroppedWrite
+	default:
+		fmt.Fprintf(os.Stderr, "ffis: unknown fault model %q\n", *model)
+		os.Exit(2)
+	}
+
+	opts := experiments.Options{
+		Runs:           *runs,
+		Seed:           *seed,
+		Workers:        *workers,
+		NyxN:           *nyxN,
+		UseAvgDetector: *useAvg,
+	}
+	if *showTrace {
+		w, err := experiments.NewWorkload(*app, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ffis: %v\n", err)
+			os.Exit(1)
+		}
+		rec := trace.NewRecorder(vfs.NewMemFS())
+		if w.Setup != nil {
+			if err := w.Setup(rec); err != nil {
+				fmt.Fprintf(os.Stderr, "ffis: trace setup: %v\n", err)
+				os.Exit(1)
+			}
+			rec.Reset() // profile only the instrumented phase
+		}
+		if err := w.Run(rec); err != nil {
+			fmt.Fprintf(os.Stderr, "ffis: trace run: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(trace.Analyze(rec.Log()).Render())
+	}
+
+	res, err := experiments.Fig7Cell(*app, fm, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ffis: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("fault signature: %s\n", res.Signature)
+	fmt.Printf("profiled %d dynamic executions of the target primitive\n", res.ProfileCount)
+	switch {
+	case *asJSON:
+		if err := core.WriteResultsJSON(os.Stdout, []core.CampaignResult{res}); err != nil {
+			fmt.Fprintf(os.Stderr, "ffis: %v\n", err)
+			os.Exit(1)
+		}
+	case *asCSV:
+		fmt.Print(classify.CSV([]classify.Cell{res.Cell()}))
+	default:
+		fmt.Print(classify.Table(fmt.Sprintf("campaign %s (%d runs)", res.Cell().Label, *runs),
+			[]classify.Cell{res.Cell()}))
+	}
+}

@@ -1,0 +1,11 @@
+// Package ffis is the root of the FFIS reproduction: a FUSE-style storage
+// fault-injection framework and the study of its impact on HPC applications
+// (Nyx, QMCPACK, Montage) and the HDF5 file format, reproducing
+// "Characterizing Impacts of Storage Faults on HPC Applications: A
+// Methodology and Insights" (IEEE CLUSTER 2021).
+//
+// The root package carries only the repository-level benchmarks
+// (bench_test.go), one per paper table and figure; the implementation lives
+// under internal/ (see DESIGN.md for the module map) and the runnable
+// entry points under cmd/ and examples/.
+package ffis

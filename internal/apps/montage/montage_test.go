@@ -1,0 +1,349 @@
+package montage
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ffis/internal/classify"
+	"ffis/internal/core"
+	"ffis/internal/fits"
+	"ffis/internal/vfs"
+)
+
+func smallConfig() Config {
+	c := DefaultConfig()
+	c.Tiles = 6
+	c.TileW, c.TileH = 48, 48
+	c.MosaicW, c.MosaicH = 110, 110
+	return c
+}
+
+func TestTileSpecsDeterministicAndInBounds(t *testing.T) {
+	cfg := smallConfig()
+	a := cfg.TileSpecs()
+	b := cfg.TileSpecs()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("tile specs not deterministic")
+		}
+		if a[i].X0 < 0 || a[i].X0 > float64(cfg.MosaicW-cfg.TileW) {
+			t.Fatalf("tile %d X0 out of bounds: %v", i, a[i].X0)
+		}
+		if a[i].Y0 < 0 || a[i].Y0 > float64(cfg.MosaicH-cfg.TileH) {
+			t.Fatalf("tile %d Y0 out of bounds: %v", i, a[i].Y0)
+		}
+	}
+}
+
+func TestObserveDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	spec := cfg.TileSpecs()[0]
+	a := cfg.Observe(spec, 0)
+	b := cfg.Observe(spec, 0)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("observation not deterministic")
+		}
+	}
+	c := cfg.Observe(spec, 1)
+	same := 0
+	for i := range a.Data {
+		if a.Data[i] == c.Data[i] {
+			same++
+		}
+	}
+	if same > len(a.Data)/10 {
+		t.Fatal("different tiles share noise")
+	}
+}
+
+func TestFullPipelineProducesMosaic(t *testing.T) {
+	cfg := smallConfig()
+	fs := vfs.NewMemFS()
+	if err := cfg.WriteRawTiles(fs); err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.RunPipeline(fs, StageProject, StageAdd); err != nil {
+		t.Fatal(err)
+	}
+	img, err := vfs.ReadFile(fs, ImagePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(img), "P5\n110 110\n255\n") {
+		t.Fatalf("pgm header: %q", img[:20])
+	}
+	minV, err := ReadMin(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The synthetic background sits near 83; the background-matched
+	// mosaic min must be in that neighbourhood (not at a star or the
+	// galaxy).
+	if minV < 70 || minV > 95 {
+		t.Fatalf("mosaic min = %v, implausible", minV)
+	}
+	mosaic, err := fits.Read(fs, MosaicPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mosaic.Width != 110 || mosaic.Height != 110 {
+		t.Fatalf("mosaic dims %dx%d", mosaic.Width, mosaic.Height)
+	}
+}
+
+func TestBackgroundMatchingReducesSeams(t *testing.T) {
+	// Compare overlap disagreement before and after mBgExec: the plane
+	// corrections must shrink the inter-tile background differences.
+	cfg := smallConfig()
+	fs := vfs.NewMemFS()
+	if err := cfg.WriteRawTiles(fs); err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.RunPipeline(fs, StageProject, StageBg); err != nil {
+		t.Fatal(err)
+	}
+	disagreement := func(pathOf func(int) string) float64 {
+		var total float64
+		var n int
+		imgs := make([]*fits.Image, cfg.Tiles)
+		for i := 0; i < cfg.Tiles; i++ {
+			im, err := fits.Read(fs, pathOf(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			imgs[i] = im
+		}
+		for i := 0; i < cfg.Tiles; i++ {
+			for j := i + 1; j < cfg.Tiles; j++ {
+				x0, y0, x1, y1, ok := overlap(imgs[i], imgs[j])
+				if !ok {
+					continue
+				}
+				for y := y0; y < y1; y++ {
+					for x := x0; x < x1; x++ {
+						vi := imgs[i].At(x-int(imgs[i].CRVAL1), y-int(imgs[i].CRVAL2))
+						vj := imgs[j].At(x-int(imgs[j].CRVAL1), y-int(imgs[j].CRVAL2))
+						if vi == 0 || vj == 0 {
+							continue
+						}
+						total += math.Abs(vi - vj)
+						n++
+					}
+				}
+			}
+		}
+		return total / float64(n)
+	}
+	before := disagreement(projPath)
+	after := disagreement(corrPath)
+	if after >= before {
+		t.Fatalf("background matching did not help: before=%.3f after=%.3f", before, after)
+	}
+}
+
+func TestPlaneFitExact(t *testing.T) {
+	// planeFit must recover an exact plane.
+	var xs, ys, ds []float64
+	for y := 0; y < 10; y++ {
+		for x := 0; x < 10; x++ {
+			xs = append(xs, float64(x))
+			ys = append(ys, float64(y))
+			ds = append(ds, 3.5+0.25*float64(x)-0.75*float64(y))
+		}
+	}
+	p, err := planeFit(xs, ys, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p[0]-3.5) > 1e-9 || math.Abs(p[1]-0.25) > 1e-9 || math.Abs(p[2]+0.75) > 1e-9 {
+		t.Fatalf("plane = %v", p)
+	}
+}
+
+func TestSolve3Singular(t *testing.T) {
+	_, err := solve3([3][3]float64{{1, 2, 3}, {2, 4, 6}, {0, 0, 1}}, [3]float64{1, 2, 3})
+	if err == nil {
+		t.Fatal("singular system solved")
+	}
+}
+
+func TestStageStrings(t *testing.T) {
+	names := map[Stage]string{
+		StageProject: "mProjExec",
+		StageDiff:    "mDiffExec",
+		StageBg:      "mBgExec",
+		StageAdd:     "mAdd",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", int(s), s.String())
+		}
+	}
+	if len(Stages()) != 4 {
+		t.Fatal("stage list")
+	}
+}
+
+func TestAppGoldenClassifiesBenignAllStages(t *testing.T) {
+	cfg := smallConfig()
+	for _, stage := range Stages() {
+		app, err := NewApp(cfg, stage)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs := vfs.NewMemFS()
+		if err := app.Setup(fs); err != nil {
+			t.Fatal(err)
+		}
+		if err := app.Run(fs); err != nil {
+			t.Fatal(err)
+		}
+		if got := app.Classify(fs, nil); got != classify.Benign {
+			t.Fatalf("stage %s golden classified %s", stage, got)
+		}
+	}
+}
+
+func TestAppClassifyCrashOnMissingStageOutput(t *testing.T) {
+	app, err := NewApp(smallConfig(), StageProject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := vfs.NewMemFS()
+	if err := app.Setup(fs); err != nil {
+		t.Fatal(err)
+	}
+	// Stage never ran: downstream stages cannot find inputs.
+	if got := app.Classify(fs, nil); got != classify.Crash {
+		t.Fatalf("classified %s, want crash", got)
+	}
+}
+
+func TestAppClassifyDetectedOnBlackStripe(t *testing.T) {
+	// The Figure 9 scenario: a dropped block zeroes part of a corrected
+	// image; the stripe drags the mosaic min far below golden.
+	app, err := NewApp(smallConfig(), StageAdd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := vfs.NewMemFS()
+	if err := app.Setup(fs); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a corrected tile before mAdd runs: zero a band of pixels.
+	im, err := fits.Read(fs, corrPath(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < im.Width; x++ {
+		for y := 20; y < 28; y++ {
+			im.Set(x, y, 0)
+		}
+	}
+	if err := fits.Write(fs, corrPath(2), im); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Run(fs); err != nil {
+		t.Fatal(err)
+	}
+	if got := app.Classify(fs, nil); got != classify.Detected {
+		t.Fatalf("black stripe classified %s, want detected", got)
+	}
+}
+
+func TestAppClassifySmallPerturbationSDC(t *testing.T) {
+	// A sub-threshold brightness tweak away from the minimum changes the
+	// image but keeps the min statistic within tolerance: SDC.
+	app, err := NewApp(smallConfig(), StageAdd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := vfs.NewMemFS()
+	if err := app.Setup(fs); err != nil {
+		t.Fatal(err)
+	}
+	im, err := fits.Read(fs, corrPath(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brighten one bright (galaxy) pixel noticeably — image changes, min
+	// does not.
+	maxIdx := 0
+	for i, v := range im.Data {
+		if v > im.Data[maxIdx] {
+			maxIdx = i
+		}
+	}
+	im.Data[maxIdx] += 40
+	if err := fits.Write(fs, corrPath(1), im); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Run(fs); err != nil {
+		t.Fatal(err)
+	}
+	if got := app.Classify(fs, nil); got != classify.SDC {
+		t.Fatalf("bright-pixel tweak classified %s, want SDC", got)
+	}
+}
+
+func TestCampaignStage1BitFlip(t *testing.T) {
+	app, err := NewApp(smallConfig(), StageProject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Campaign(core.CampaignConfig{
+		Fault: core.Config{Model: core.BitFlip},
+		Runs:  15,
+		Seed:  3,
+	}, app.Workload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tally.Total() != 15 {
+		t.Fatalf("tally: %s", res.Tally.String())
+	}
+	if res.ProfileCount == 0 {
+		t.Fatal("no writes profiled in stage 1")
+	}
+	// Benign should exist (mantissa flips below the 8-bit quantization).
+	if res.Tally.Count(classify.Benign) == 0 {
+		t.Fatalf("no benign outcomes: %s", res.Tally.String())
+	}
+}
+
+func TestCampaignStage4DroppedWriteNotBenign(t *testing.T) {
+	app, err := NewApp(smallConfig(), StageAdd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Campaign(core.CampaignConfig{
+		Fault: core.Config{Model: core.DroppedWrite},
+		Runs:  10,
+		Seed:  11,
+	}, app.Workload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tally.Count(classify.Benign) == 10 {
+		t.Fatalf("all dropped writes benign in mAdd: %s", res.Tally.String())
+	}
+}
+
+func TestReadMinErrors(t *testing.T) {
+	fs := vfs.NewMemFS()
+	if _, err := ReadMin(fs); err == nil {
+		t.Fatal("missing stats accepted")
+	}
+	vfs.WriteFile(fs, StatsPath, []byte("nonsense"))
+	if _, err := ReadMin(fs); err == nil {
+		t.Fatal("garbage stats accepted")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	if !strings.Contains(Describe(), "Montage") {
+		t.Fatal("describe missing app name")
+	}
+}

@@ -1,0 +1,74 @@
+package nyx
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// SlicePGM renders the z=k plane of the field as a binary PGM image with a
+// logarithmic stretch, the visualization used for Figure 5 (original vs
+// scaled vs shifted density) and Figure 6 (halo candidate loss).
+func SlicePGM(field []float64, n, k int) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "P5\n%d %d\n255\n", n, n)
+	out := []byte(b.String())
+	lo, hi := math.Inf(1), math.Inf(-1)
+	plane := field[k*n*n : (k+1)*n*n]
+	for _, v := range plane {
+		if v > 0 && !math.IsInf(v, 0) && !math.IsNaN(v) {
+			l := math.Log10(v)
+			if l < lo {
+				lo = l
+			}
+			if l > hi {
+				hi = l
+			}
+		}
+	}
+	if !(hi > lo) {
+		lo, hi = 0, 1
+	}
+	for _, v := range plane {
+		var g float64
+		if v > 0 && !math.IsNaN(v) && !math.IsInf(v, 0) {
+			g = (math.Log10(v) - lo) / (hi - lo)
+		}
+		if g < 0 {
+			g = 0
+		}
+		if g > 1 {
+			g = 1
+		}
+		out = append(out, byte(g*255))
+	}
+	return out
+}
+
+// CandidateCensus counts halo-cell candidates in the neighbourhood of a
+// point, the Figure 6 quantity ("the number of halo cell candidates is
+// reduced compared to the original case").
+func CandidateCensus(field []float64, n int, cfg HaloConfig, center [3]float64, radius int) int {
+	mean := 0.0
+	for _, v := range field {
+		mean += v
+	}
+	mean /= float64(len(field))
+	threshold := cfg.ThresholdFactor * mean
+	count := 0
+	cx, cy, cz := int(center[0]), int(center[1]), int(center[2])
+	for dz := -radius; dz <= radius; dz++ {
+		for dy := -radius; dy <= radius; dy++ {
+			for dx := -radius; dx <= radius; dx++ {
+				x, y, z := cx+dx, cy+dy, cz+dz
+				if x < 0 || y < 0 || z < 0 || x >= n || y >= n || z >= n {
+					continue
+				}
+				if field[(z*n+y)*n+x] >= threshold {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}

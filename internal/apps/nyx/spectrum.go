@@ -1,0 +1,142 @@
+package nyx
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"ffis/internal/classify"
+	"ffis/internal/core"
+	"ffis/internal/fft"
+	"ffis/internal/vfs"
+)
+
+// The paper names two Nyx post-analyses — the halo finder (used for the
+// headline results) and the power spectrum, "statistically describing the
+// amount of the Universe at each physical scale". This file implements the
+// power-spectrum analysis as the alternative classification channel,
+// enabling the per-post-analysis error-masking comparison the paper
+// motivates ("to measure such ability of each phase of an application").
+
+// Spectrum is the radially binned matter power spectrum P(k), k = 1..N/2.
+type Spectrum []float64
+
+// PowerSpectrum computes the density-contrast power spectrum of the field.
+// The grid edge must be a power of two (use N = 32 or 64 for this
+// analysis; the halo finder has no such restriction).
+func PowerSpectrum(field []float64, n int) (Spectrum, error) {
+	p, err := fft.PowerSpectrum3D(field, n)
+	if err != nil {
+		return nil, fmt.Errorf("nyx: power spectrum: %w", err)
+	}
+	return Spectrum(p), nil
+}
+
+// Render prints the spectrum at the 4-significant-digit resolution used for
+// bit-wise outcome comparison; like the halo catalog, it is deliberately
+// insensitive to sub-ULP noise while resolving physically meaningful power
+// shifts.
+func (s Spectrum) Render() string {
+	var b strings.Builder
+	b.WriteString("# P(k), k = 1..N/2\n")
+	for k, p := range s {
+		fmt.Fprintf(&b, "%3d %.4g\n", k+1, p)
+	}
+	return b.String()
+}
+
+// RelDistance returns the maximum relative per-bin deviation between two
+// spectra (Inf for mismatched lengths), the quantity used to decide whether
+// a corrupted dataset still yields science-grade statistics.
+func (s Spectrum) RelDistance(o Spectrum) float64 {
+	if len(s) != len(o) {
+		return math.Inf(1)
+	}
+	worst := 0.0
+	for k := range s {
+		denom := math.Abs(s[k])
+		if denom < 1e-300 {
+			denom = 1e-300
+		}
+		d := math.Abs(s[k]-o[k]) / denom
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// SpectrumApp is the power-spectrum variant of the Nyx campaign workload.
+type SpectrumApp struct {
+	Sim SimConfig
+
+	field  []float64
+	golden Spectrum
+}
+
+// NewSpectrumApp generates the field and the golden spectrum. The grid
+// edge must be a power of two.
+func NewSpectrumApp(sim SimConfig) (*SpectrumApp, error) {
+	if !fft.IsPow2(sim.N) {
+		return nil, fmt.Errorf("nyx: power spectrum needs a power-of-two grid, got %d", sim.N)
+	}
+	a := &SpectrumApp{Sim: sim}
+	a.field = sim.Generate()
+	var err error
+	a.golden, err = PowerSpectrum(a.field, sim.N)
+	if err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Golden returns the fault-free spectrum.
+func (a *SpectrumApp) Golden() Spectrum { return a.golden }
+
+// Run persists the field through the supplied file system (same I/O as the
+// halo-finder variant; only the post-analysis differs).
+func (a *SpectrumApp) Run(fs vfs.FS) error {
+	if err := fs.MkdirAll("/plt00000"); err != nil {
+		return err
+	}
+	return WriteDataset(fs, OutputPath, a.field, a.Sim.N)
+}
+
+// DetectedRelDeviation is the spectrum deviation beyond which the
+// post-analysis itself flags the run (a grossly wrong spectrum is obvious
+// to a domain scientist; small distortions pass silently).
+const DetectedRelDeviation = 10.0
+
+// Classify applies the outcome rules through the power-spectrum channel:
+// bit-wise identical rendered spectrum → benign; unreadable file → crash;
+// relative deviation beyond DetectedRelDeviation (or a spectrum that cannot
+// be computed) → detected; otherwise SDC.
+func (a *SpectrumApp) Classify(fs vfs.FS, runErr error) classify.Outcome {
+	if runErr != nil {
+		return classify.Crash
+	}
+	field, n, err := ReadDataset(fs, OutputPath)
+	if err != nil {
+		return classify.Crash
+	}
+	spec, err := PowerSpectrum(field, n)
+	if err != nil {
+		return classify.Detected // degenerate data: mean NaN/zero
+	}
+	if spec.Render() == a.golden.Render() {
+		return classify.Benign
+	}
+	if a.golden.RelDistance(spec) > DetectedRelDeviation {
+		return classify.Detected
+	}
+	return classify.SDC
+}
+
+// Workload adapts the spectrum app to the campaign runner.
+func (a *SpectrumApp) Workload() core.Workload {
+	return core.Workload{
+		Name:     "nyx-spectrum",
+		Run:      a.Run,
+		Classify: a.Classify,
+	}
+}

@@ -1,0 +1,140 @@
+package nyx
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ffis/internal/classify"
+	"ffis/internal/core"
+	"ffis/internal/vfs"
+)
+
+func spectrumSim() SimConfig {
+	c := DefaultSim()
+	c.N = 32 // power of two, required by the FFT
+	c.NumHalos = 5
+	return c
+}
+
+func TestPowerSpectrumOfSim(t *testing.T) {
+	cfg := spectrumSim()
+	field := cfg.Generate()
+	spec, err := PowerSpectrum(field, cfg.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec) != cfg.N/2 {
+		t.Fatalf("spectrum bins = %d, want %d", len(spec), cfg.N/2)
+	}
+	var total float64
+	for _, p := range spec {
+		if p < 0 || math.IsNaN(p) {
+			t.Fatalf("negative/NaN power: %v", spec)
+		}
+		total += p
+	}
+	if total <= 0 {
+		t.Fatal("structured field has zero power")
+	}
+}
+
+func TestPowerSpectrumRequiresPow2(t *testing.T) {
+	if _, err := PowerSpectrum(make([]float64, 27), 3); err == nil {
+		t.Fatal("non-pow2 grid accepted")
+	}
+	if _, err := NewSpectrumApp(DefaultSim()); err == nil { // N=48
+		t.Fatal("N=48 accepted for spectrum app")
+	}
+}
+
+func TestSpectrumRenderDeterministic(t *testing.T) {
+	cfg := spectrumSim()
+	field := cfg.Generate()
+	a, _ := PowerSpectrum(field, cfg.N)
+	b, _ := PowerSpectrum(field, cfg.N)
+	if a.Render() != b.Render() {
+		t.Fatal("spectrum render unstable")
+	}
+	if !strings.HasPrefix(a.Render(), "# P(k)") {
+		t.Fatal("render format")
+	}
+}
+
+func TestRelDistance(t *testing.T) {
+	a := Spectrum{1, 2, 3}
+	if d := a.RelDistance(Spectrum{1, 2, 3}); d != 0 {
+		t.Fatalf("self distance = %v", d)
+	}
+	if d := a.RelDistance(Spectrum{2, 2, 3}); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("distance = %v, want 1", d)
+	}
+	if d := a.RelDistance(Spectrum{1, 2}); !math.IsInf(d, 1) {
+		t.Fatalf("mismatched lengths: %v", d)
+	}
+}
+
+func TestSpectrumAppGoldenBenign(t *testing.T) {
+	app, err := NewSpectrumApp(spectrumSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := vfs.NewMemFS()
+	if err := app.Run(fs); err != nil {
+		t.Fatal(err)
+	}
+	if got := app.Classify(fs, nil); got != classify.Benign {
+		t.Fatalf("golden classified %s", got)
+	}
+	if len(app.Golden()) != spectrumSim().N/2 {
+		t.Fatal("golden spectrum missing")
+	}
+}
+
+func TestSpectrumAppDroppedWriteVisible(t *testing.T) {
+	// A dropped 4 KiB block zeroes 512 cells: a sharp real-space feature
+	// spreads power across all k — never benign through this channel.
+	app, err := NewSpectrumApp(spectrumSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Campaign(core.CampaignConfig{
+		Fault: core.Config{Model: core.DroppedWrite},
+		Runs:  10,
+		Seed:  31,
+	}, app.Workload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tally.Count(classify.Benign) != 0 {
+		t.Fatalf("dropped writes benign through spectrum: %s", res.Tally.String())
+	}
+}
+
+func TestSpectrumAppMasksSmallFlips(t *testing.T) {
+	// The spectrum averages ~32k modes per shell: a one-ULP flip of a
+	// single cell vanishes below the 4-digit render resolution.
+	app, err := NewSpectrumApp(spectrumSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := vfs.NewMemFS()
+	app.Run(fs)
+	raw, _ := vfs.ReadFile(fs, OutputPath)
+	// Flip the lowest mantissa bit of one data element (past metadata).
+	raw[len(raw)-4096] ^= 0x01
+	vfs.WriteFile(fs, OutputPath, raw)
+	if got := app.Classify(fs, nil); got != classify.Benign {
+		t.Fatalf("one-ULP flip classified %s via spectrum", got)
+	}
+}
+
+func TestSpectrumAppCrashOnMissingOutput(t *testing.T) {
+	app, err := NewSpectrumApp(spectrumSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := app.Classify(vfs.NewMemFS(), nil); got != classify.Crash {
+		t.Fatalf("missing output classified %s", got)
+	}
+}

@@ -1,0 +1,408 @@
+package qmcpack
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ffis/internal/classify"
+	"ffis/internal/core"
+	"ffis/internal/stats"
+	"ffis/internal/vfs"
+)
+
+func TestLocalEnergyAtExactPoints(t *testing.T) {
+	// For a bare hydrogenic product (A=0) with Z=2 the local energy is
+	// E_L = -Z² + 1/r12 (kinetic+nuclear terms are exact for the
+	// exponential orbital).
+	trial := trialWavefunction{Z: 2, A: 0, B: 0.35}
+	w := walker{r: [6]float64{1, 0, 0, -1, 0, 0}} // r1=r2=1, r12=2
+	e, _ := trial.localEnergy(w)
+	want := -4.0 + 0.5
+	if math.Abs(e-want) > 1e-9 {
+		t.Fatalf("E_L = %v, want %v", e, want)
+	}
+}
+
+func TestLocalEnergyFiniteEverywhere(t *testing.T) {
+	trial := defaultTrial()
+	rng := stats.NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		var w walker
+		for k := 0; k < 6; k++ {
+			w.r[k] = rng.NormFloat64() * 2
+		}
+		e, drift := trial.localEnergy(w)
+		if math.IsNaN(e) || math.IsInf(e, 0) {
+			t.Fatalf("E_L = %v at %v", e, w.r)
+		}
+		for _, d := range drift {
+			if math.IsNaN(d) || math.IsInf(d, 0) {
+				t.Fatalf("drift = %v at %v", drift, w.r)
+			}
+		}
+	}
+}
+
+func TestLocalEnergyCuspStability(t *testing.T) {
+	// Near the electron-nucleus coalescence the cusp condition keeps E_L
+	// finite; verify no blow-up at tiny r1.
+	trial := defaultTrial()
+	w := walker{r: [6]float64{1e-7, 0, 0, 0.7, 0.1, -0.3}}
+	e, _ := trial.localEnergy(w)
+	if math.IsNaN(e) || math.IsInf(e, 0) {
+		t.Fatalf("E_L = %v at nucleus", e)
+	}
+}
+
+func TestVMCEnergyPlausible(t *testing.T) {
+	cfg := DefaultQMC()
+	cfg.VMCSteps = 200
+	rows, _ := RunVMC(cfg, defaultTrial())
+	if len(rows) != 200 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var sum float64
+	for _, r := range rows {
+		sum += r.Energy
+	}
+	mean := sum / float64(len(rows))
+	// The Padé-Jastrow VMC energy for He sits between the bare
+	// Hartree product (-2.85) and the exact energy (-2.90372).
+	if mean > -2.80 || mean < -2.95 {
+		t.Fatalf("VMC energy = %v, implausible for He", mean)
+	}
+	for _, r := range rows {
+		if r.Variance < 0 || r.Weight <= 0 {
+			t.Fatalf("bad row: %+v", r)
+		}
+	}
+}
+
+func TestDMCImprovesOnVMC(t *testing.T) {
+	cfg := DefaultQMC()
+	trial := defaultTrial()
+	vmcRows, ensemble := RunVMC(cfg, trial)
+	dmcRows := RunDMC(cfg, trial, ensemble)
+	vmcA, err := Analyze(FormatRows(vmcRows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dmcA, err := Analyze(FormatRows(dmcRows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dmcA.Energy-ExactEnergy) > math.Abs(vmcA.Energy-ExactEnergy) {
+		t.Fatalf("DMC (%.5f) further from exact %.5f than VMC (%.5f)",
+			dmcA.Energy, ExactEnergy, vmcA.Energy)
+	}
+}
+
+func TestDMCPopulationControlled(t *testing.T) {
+	cfg := DefaultQMC()
+	cfg.DMCSteps = 200
+	trial := defaultTrial()
+	_, ensemble := RunVMC(cfg, trial)
+	rows := RunDMC(cfg, trial, ensemble)
+	for i, r := range rows {
+		if r.Weight < float64(cfg.PopTarget)/4 || r.Weight > float64(cfg.PopTarget)*4 {
+			t.Fatalf("step %d: population %v escaped control", i, r.Weight)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	v1, d1 := RunAll(DefaultQMC())
+	v2, d2 := RunAll(DefaultQMC())
+	if FormatRows(v1) != FormatRows(v2) || FormatRows(d1) != FormatRows(d2) {
+		t.Fatal("Monte Carlo not deterministic for fixed seed")
+	}
+}
+
+func TestFormatAndAnalyzeRoundTrip(t *testing.T) {
+	rows := []Row{
+		{0, -2.9, 0.3, 100},
+		{1, -2.91, 0.31, 101},
+		{2, -2.89, 0.29, 99},
+		{3, -2.90, 0.30, 100},
+		{4, -2.905, 0.30, 100},
+	}
+	content := FormatRows(rows)
+	if !strings.HasPrefix(content, "#") {
+		t.Fatal("missing header")
+	}
+	a, err := Analyze(content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20% equilibration discards the first row.
+	if a.Rows != 4 {
+		t.Fatalf("rows = %d, want 4", a.Rows)
+	}
+	if a.Energy > -2.89 || a.Energy < -2.92 {
+		t.Fatalf("energy = %v", a.Energy)
+	}
+	if a.Skipped != 0 {
+		t.Fatalf("skipped = %d", a.Skipped)
+	}
+}
+
+func TestAnalyzeSkipsCorruptRows(t *testing.T) {
+	content := header +
+		"0  -2.9  0.3  100\n" +
+		"1  -2.9  0.3  100\n" +
+		"garbage line here x\n" +
+		"2  -2.9q  0.3  100\n" + // unparseable energy
+		"3  -2.9  0.3  -5\n" + // non-positive weight
+		"4  -2.9  0.3  100\n" +
+		"5  -2.9  0.3  100\n"
+	a, err := Analyze(content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Skipped != 3 {
+		t.Fatalf("skipped = %d, want 3", a.Skipped)
+	}
+	if math.Abs(a.Energy+2.9) > 1e-9 {
+		t.Fatalf("energy = %v", a.Energy)
+	}
+}
+
+func TestAnalyzeFailsOnEmpty(t *testing.T) {
+	if _, err := Analyze(""); err == nil {
+		t.Fatal("empty content accepted")
+	}
+	if _, err := Analyze(header); err == nil {
+		t.Fatal("header-only content accepted")
+	}
+	if _, err := Analyze("all\ngarbage\nrows\n"); err == nil {
+		t.Fatal("all-garbage content accepted")
+	}
+}
+
+func TestWriteScalarFileBlockWrites(t *testing.T) {
+	fs := vfs.NewCountingFS(vfs.NewMemFS())
+	content := strings.Repeat("x", 10000)
+	if err := WriteScalarFile(fs, "/f", content); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Count(vfs.PrimWrite); got != 3 { // ceil(10000/4096)
+		t.Fatalf("writes = %d, want 3", got)
+	}
+	raw, _ := vfs.ReadFile(fs, "/f")
+	if string(raw) != content {
+		t.Fatal("content mismatch")
+	}
+}
+
+func newTestApp(t *testing.T) *App {
+	t.Helper()
+	app, err := NewApp(DefaultQMC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+func TestGoldenEnergyInWindow(t *testing.T) {
+	app := newTestApp(t)
+	e := app.GoldenEnergy()
+	if e < SDCWindowLo || e > SDCWindowHi {
+		t.Fatalf("golden energy %.5f outside [%g, %g]", e, SDCWindowLo, SDCWindowHi)
+	}
+	// And close to the exact non-relativistic value.
+	if math.Abs(e-ExactEnergy) > 0.006 {
+		t.Fatalf("golden energy %.5f too far from exact %.5f", e, ExactEnergy)
+	}
+}
+
+func TestAppGoldenClassifiesBenign(t *testing.T) {
+	app := newTestApp(t)
+	fs := vfs.NewMemFS()
+	if err := app.Run(fs); err != nil {
+		t.Fatal(err)
+	}
+	if got := app.Classify(fs, nil); got != classify.Benign {
+		t.Fatalf("golden run classified %s", got)
+	}
+}
+
+func TestAppClassifyVMCCorruptionBenign(t *testing.T) {
+	// Faults that land in the VMC series file leave the DMC series
+	// untouched: benign, per the paper's classification.
+	app := newTestApp(t)
+	fs := vfs.NewMemFS()
+	if err := app.Run(fs); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := vfs.ReadFile(fs, VMCPath)
+	raw[100] ^= 0xFF
+	vfs.WriteFile(fs, VMCPath, raw)
+	if got := app.Classify(fs, nil); got != classify.Benign {
+		t.Fatalf("VMC-file corruption classified %s", got)
+	}
+}
+
+func TestAppClassifySmallDigitFlipIsSDC(t *testing.T) {
+	app := newTestApp(t)
+	fs := vfs.NewMemFS()
+	app.Run(fs)
+	raw, _ := vfs.ReadFile(fs, DMCPath)
+	// Flip a low-order decimal digit of an energy in a mid-file row:
+	// tiny change, energy stays within the window. The energy column is
+	// the first "." on a row; its 6th decimal is well inside the
+	// 10-digit fraction.
+	content := string(raw)
+	idx := strings.Index(content[len(content)/2:], ".") + len(content)/2
+	raw[idx+6] = flipDigit(raw[idx+6])
+	vfs.WriteFile(fs, DMCPath, raw)
+	if got := app.Classify(fs, nil); got != classify.SDC {
+		t.Fatalf("small digit flip classified %s, want SDC", got)
+	}
+}
+
+func flipDigit(b byte) byte {
+	if b == '9' {
+		return '8'
+	}
+	if b >= '0' && b < '9' {
+		return b + 1
+	}
+	return '1'
+}
+
+func TestAppClassifyBigCorruptionDetected(t *testing.T) {
+	app := newTestApp(t)
+	fs := vfs.NewMemFS()
+	app.Run(fs)
+	raw, _ := vfs.ReadFile(fs, DMCPath)
+	// Corrupt the integer part of many energies: -2.xx -> -7.xx.
+	content := strings.ReplaceAll(string(raw), " -2.9", " -7.9")
+	vfs.WriteFile(fs, DMCPath, []byte(content))
+	if got := app.Classify(fs, nil); got != classify.Detected {
+		t.Fatalf("gross corruption classified %s, want detected", got)
+	}
+}
+
+func TestAppClassifyMissingFileCrash(t *testing.T) {
+	app := newTestApp(t)
+	fs := vfs.NewMemFS()
+	app.Run(fs)
+	fs.Remove(DMCPath)
+	if got := app.Classify(fs, nil); got != classify.Crash {
+		t.Fatalf("missing file classified %s", got)
+	}
+}
+
+func TestAppClassifyZeroFilledCrash(t *testing.T) {
+	app := newTestApp(t)
+	fs := vfs.NewMemFS()
+	app.Run(fs)
+	info, _ := fs.Stat(DMCPath)
+	vfs.WriteFile(fs, DMCPath, make([]byte, info.Size))
+	if got := app.Classify(fs, nil); got != classify.Crash {
+		t.Fatalf("zero-filled file classified %s", got)
+	}
+}
+
+func TestCampaignShapeBitFlip(t *testing.T) {
+	// The QMCPACK phenomenology: a large fraction of bit flips are SDC
+	// (any flip in the DMC file that keeps the energy plausible), with
+	// benign runs from flips landing in the VMC file.
+	app := newTestApp(t)
+	res, err := core.Campaign(core.CampaignConfig{
+		Fault: core.Config{Model: core.BitFlip},
+		Runs:  30,
+		Seed:  5,
+	}, app.Workload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdc := res.Tally.Rate(classify.SDC).P()
+	if sdc < 0.2 {
+		t.Fatalf("bit-flip SDC rate = %.2f, want QMCPACK-like (high): %s", sdc, res.Tally.String())
+	}
+	if res.Tally.Count(classify.Benign) == 0 {
+		t.Fatalf("expected some benign runs from VMC-file hits: %s", res.Tally.String())
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	if !strings.Contains(Describe(), "QMCPACK") {
+		t.Fatal("describe missing app name")
+	}
+}
+
+func TestBlockingUncorrelatedData(t *testing.T) {
+	// For i.i.d. data the reblocked error bar stays flat.
+	rng := stats.NewRNG(17)
+	xs := make([]float64, 4096)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	blocking := Blocking(xs)
+	if len(blocking) < 8 {
+		t.Fatalf("levels = %d", len(blocking))
+	}
+	first := blocking[0].ErrorBar
+	for _, b := range blocking {
+		if b.Blocks < 64 {
+			break
+		}
+		if b.ErrorBar < first*0.7 || b.ErrorBar > first*1.5 {
+			t.Fatalf("iid data error bar drifted: level %d = %v vs %v", b.BlockSize, b.ErrorBar, first)
+		}
+	}
+	if tau := CorrelationTime(blocking); tau > 2.5 {
+		t.Fatalf("iid correlation time = %v, want ~1", tau)
+	}
+}
+
+func TestBlockingCorrelatedData(t *testing.T) {
+	// An AR(1) series with strong autocorrelation must show the error
+	// bar growing under reblocking and a correlation time >> 1.
+	rng := stats.NewRNG(19)
+	xs := make([]float64, 8192)
+	x := 0.0
+	for i := range xs {
+		x = 0.95*x + rng.NormFloat64()
+		xs[i] = x
+	}
+	blocking := Blocking(xs)
+	if blocking[len(blocking)-1].ErrorBar <= blocking[0].ErrorBar {
+		t.Fatal("reblocking did not grow the error bar on correlated data")
+	}
+	if tau := CorrelationTime(blocking); tau < 5 {
+		t.Fatalf("correlation time = %v, want >> 1", tau)
+	}
+}
+
+func TestBlockingOnRealDMCSeries(t *testing.T) {
+	app := newTestApp(t)
+	a, err := Analyze(app.dmcContent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = a
+	// Extract the raw energies for blocking.
+	var energies []float64
+	for _, line := range strings.Split(app.dmcContent, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		e, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		energies = append(energies, e)
+	}
+	blocking := Blocking(energies)
+	tau := CorrelationTime(blocking)
+	if tau < 1 {
+		t.Fatalf("tau = %v", tau)
+	}
+	t.Logf("DMC series: %d steps, correlation time %.1f, plateau error %.5f",
+		len(energies), tau, blocking[len(blocking)-1].ErrorBar)
+}

@@ -1,0 +1,120 @@
+package classify
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOutcomeStrings(t *testing.T) {
+	want := map[Outcome]string{
+		Benign:   "benign",
+		SDC:      "SDC",
+		Detected: "detected",
+		Crash:    "crash",
+	}
+	for o, s := range want {
+		if o.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(o), o.String(), s)
+		}
+	}
+	if !strings.Contains(Outcome(9).String(), "outcome") {
+		t.Error("unknown outcome should self-describe")
+	}
+}
+
+func TestOutcomesOrder(t *testing.T) {
+	os := Outcomes()
+	if len(os) != 4 || os[0] != Benign || os[3] != Crash {
+		t.Fatalf("Outcomes() = %v", os)
+	}
+}
+
+func TestTallyAddAndRates(t *testing.T) {
+	var tl Tally
+	for i := 0; i < 857; i++ {
+		tl.Add(Benign)
+	}
+	for i := 0; i < 2; i++ {
+		tl.Add(SDC)
+	}
+	for i := 0; i < 141; i++ {
+		tl.Add(Crash)
+	}
+	if tl.Total() != 1000 {
+		t.Fatalf("total = %d", tl.Total())
+	}
+	if got := tl.Rate(Benign).P(); got != 0.857 {
+		t.Fatalf("benign rate = %v", got)
+	}
+	if got := tl.Rate(SDC).P(); got != 0.002 {
+		t.Fatalf("sdc rate = %v", got)
+	}
+	if tl.Count(Detected) != 0 {
+		t.Fatalf("detected = %d", tl.Count(Detected))
+	}
+}
+
+func TestTallyMerge(t *testing.T) {
+	var a, b Tally
+	a.Add(Benign)
+	a.Add(SDC)
+	b.Add(SDC)
+	b.Add(Crash)
+	a.Merge(b)
+	if a.Total() != 4 || a.Count(SDC) != 2 {
+		t.Fatalf("merge result: %s", a.String())
+	}
+}
+
+func TestTallyInvalidOutcomePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var tl Tally
+	tl.Add(Outcome(17))
+}
+
+func TestTallyStringEmpty(t *testing.T) {
+	var tl Tally
+	if tl.String() != "(no runs)" {
+		t.Fatalf("empty tally string = %q", tl.String())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	var tl Tally
+	tl.Add(Benign)
+	tl.Add(SDC)
+	out := Table("Figure 7", []Cell{{Label: "nyx/BF", Tally: tl}})
+	if !strings.Contains(out, "Figure 7") || !strings.Contains(out, "nyx/BF") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	if !strings.Contains(out, "50.0%") {
+		t.Fatalf("missing rates:\n%s", out)
+	}
+}
+
+func TestCSVRendering(t *testing.T) {
+	var tl Tally
+	tl.Add(Crash)
+	out := CSV([]Cell{{Label: "qmc/DW", Tally: tl}})
+	if !strings.HasPrefix(out, "label,runs,") {
+		t.Fatalf("csv header: %q", out)
+	}
+	if !strings.Contains(out, "qmc/DW,1,0,0,0,1") {
+		t.Fatalf("csv row missing: %q", out)
+	}
+}
+
+func TestGroupCellsSortsWithoutMutating(t *testing.T) {
+	in := []Cell{{Label: "z"}, {Label: "a"}}
+	out := GroupCells(in)
+	if out[0].Label != "a" || out[1].Label != "z" {
+		t.Fatal("not sorted")
+	}
+	if in[0].Label != "z" {
+		t.Fatal("input mutated")
+	}
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ffis/internal/classify"
+	"ffis/internal/stats"
+	"ffis/internal/vfs"
+)
+
+// Workload packages an application for fault-injection campaigns. The
+// contract mirrors the paper's workflow (Figure 4): Setup prepares input
+// files fault-free, Run executes the application whose I/O is interposed
+// on, and Classify inspects the outputs (plus the run error) to produce an
+// outcome relative to a golden run.
+type Workload struct {
+	// Name labels the workload in reports.
+	Name string
+	// Setup populates input files. It runs on the bare file system and is
+	// never subject to injection (faults target the application's own
+	// I/O, not the pre-existing inputs). Optional.
+	Setup func(fs vfs.FS) error
+	// Run executes the application under test. All I/O it performs flows
+	// through the (possibly armed) file system it is handed.
+	Run func(fs vfs.FS) error
+	// Classify decides the outcome of a finished run. runErr carries the
+	// application error or recovered panic, nil for a clean exit. It runs
+	// on the bare file system.
+	Classify func(fs vfs.FS, runErr error) classify.Outcome
+}
+
+// CampaignConfig controls a statistical fault-injection campaign.
+type CampaignConfig struct {
+	// Fault selects the fault model/primitive/feature to inject.
+	Fault Config
+	// Runs is the number of fault-injection runs (the paper uses 1,000
+	// per cell).
+	Runs int
+	// Seed makes the campaign reproducible; run i derives its own stream.
+	Seed uint64
+	// Workers bounds parallel runs; <= 0 selects GOMAXPROCS.
+	Workers int
+}
+
+// RunRecord captures a single fault-injection run.
+type RunRecord struct {
+	Index    int
+	Target   int64 // dynamic instance of the primitive that was corrupted
+	Outcome  classify.Outcome
+	Mutation Mutation
+	Fired    bool  // false when the target instance was never reached
+	RunErr   error // the application error, if any
+}
+
+// CampaignResult aggregates a finished campaign.
+type CampaignResult struct {
+	Workload  string
+	Signature Signature
+	// ProfileCount is the dynamic count of the target primitive measured
+	// by the fault-free profiling run.
+	ProfileCount int64
+	Tally        classify.Tally
+	Records      []RunRecord
+}
+
+// Cell renders the result as a labelled classify table cell.
+func (r CampaignResult) Cell() classify.Cell {
+	return classify.Cell{
+		Label: fmt.Sprintf("%s/%s", r.Workload, r.Signature.Model.Short()),
+		Tally: r.Tally,
+	}
+}
+
+// ErrNoTargets is returned when profiling finds zero executions of the
+// target primitive, i.e. the fault has nowhere to land.
+var ErrNoTargets = errors.New("core: target primitive never executes in workload")
+
+// Profile runs the workload fault-free on a counting file system and
+// returns the dynamic execution count of the signature's target primitive
+// (the I/O profiler of Figure 4). The workload must succeed fault-free.
+func Profile(w Workload, sig Signature) (int64, error) {
+	base := vfs.NewMemFS()
+	if w.Setup != nil {
+		if err := w.Setup(base); err != nil {
+			return 0, fmt.Errorf("core: profile setup: %w", err)
+		}
+	}
+	counting := vfs.NewCountingFS(base)
+	if err := runRecovering(w.Run, counting); err != nil {
+		return 0, fmt.Errorf("core: fault-free profiling run failed: %w", err)
+	}
+	return counting.Count(sig.Primitive), nil
+}
+
+// runRecovering invokes run and converts panics into errors, standing in
+// for the process isolation a real injection campaign gets from running the
+// application in a child process: a crash must not take the campaign down.
+func runRecovering(run func(vfs.FS) error, fs vfs.FS) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: application panic: %v", r)
+		}
+	}()
+	return run(fs)
+}
+
+// RunOnce performs a single fault-injection run with the given target
+// instance, returning its record. Each run gets a fresh file system —
+// matching the paper, which remounts FFISFS for every run.
+func RunOnce(w Workload, sig Signature, target int64, rng *stats.RNG) (RunRecord, error) {
+	base := vfs.NewMemFS()
+	if w.Setup != nil {
+		if err := w.Setup(base); err != nil {
+			return RunRecord{}, fmt.Errorf("core: setup: %w", err)
+		}
+	}
+	inj := NewInjector(sig, target, rng)
+	runErr := runRecovering(w.Run, inj.Wrap(base))
+	outcome := classify.Crash
+	if w.Classify != nil {
+		outcome = w.Classify(base, runErr)
+	} else if runErr == nil {
+		outcome = classify.Benign
+	}
+	mut, fired := inj.Fired()
+	return RunRecord{
+		Target:   target,
+		Outcome:  outcome,
+		Mutation: mut,
+		Fired:    fired,
+		RunErr:   runErr,
+	}, nil
+}
+
+// Campaign executes a full statistical fault-injection campaign: profile,
+// then cfg.Runs injection runs with uniformly random targets, classified
+// against the workload's own notion of the golden output.
+func Campaign(cfg CampaignConfig, w Workload) (CampaignResult, error) {
+	if cfg.Runs <= 0 {
+		return CampaignResult{}, errors.New("core: campaign needs Runs > 0")
+	}
+	sig := cfg.Fault.Signature()
+	count, err := Profile(w, sig)
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	if count == 0 {
+		return CampaignResult{}, ErrNoTargets
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Runs {
+		workers = cfg.Runs
+	}
+
+	records := make([]RunRecord, cfg.Runs)
+	errs := make([]error, cfg.Runs)
+	var wg sync.WaitGroup
+	idxCh := make(chan int)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range idxCh {
+				// Each run derives an independent, reproducible stream
+				// from (seed, run index).
+				rng := stats.NewRNG(cfg.Seed ^ (uint64(idx)+1)*0x9e3779b97f4a7c15)
+				target := int64(rng.Intn(int(count)))
+				rec, err := RunOnce(w, sig, target, rng)
+				rec.Index = idx
+				records[idx] = rec
+				errs[idx] = err
+			}
+		}()
+	}
+	for i := 0; i < cfg.Runs; i++ {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+
+	res := CampaignResult{
+		Workload:     w.Name,
+		Signature:    sig,
+		ProfileCount: count,
+		Records:      records,
+	}
+	for i, rec := range records {
+		if errs[i] != nil {
+			return res, fmt.Errorf("core: run %d: %w", i, errs[i])
+		}
+		res.Tally.Add(rec.Outcome)
+	}
+	return res, nil
+}
+
+// GoldenSnapshot captures the bytes of every file under root after a
+// fault-free run; classifiers use it for the paper's "bit-wise identical"
+// benign test.
+func GoldenSnapshot(w Workload, root string) (map[string][]byte, error) {
+	fs := vfs.NewMemFS()
+	if w.Setup != nil {
+		if err := w.Setup(fs); err != nil {
+			return nil, err
+		}
+	}
+	if err := runRecovering(w.Run, fs); err != nil {
+		return nil, fmt.Errorf("core: golden run failed: %w", err)
+	}
+	return Snapshot(fs, root)
+}
+
+// Snapshot reads every file under root into a path→content map.
+func Snapshot(fs vfs.FS, root string) (map[string][]byte, error) {
+	out := map[string][]byte{}
+	err := vfs.Walk(fs, root, func(p string, info vfs.FileInfo) error {
+		data, err := vfs.ReadFile(fs, p)
+		if err != nil {
+			return err
+		}
+		out[p] = data
+		return nil
+	})
+	return out, err
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"ffis/internal/classify"
+	"ffis/internal/vfs"
+)
+
+// toyWorkload writes a known pattern and classifies by comparing with the
+// golden bytes; it stands in for a real application in campaign tests.
+func toyWorkload() Workload {
+	golden := bytes.Repeat([]byte{0xA5}, 4096)
+	return Workload{
+		Name: "toy",
+		Run: func(fs vfs.FS) error {
+			f, err := fs.Create("/out/data.bin")
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			for off := 0; off < len(golden); off += 512 {
+				if _, err := f.Write(golden[off : off+512]); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Setup: func(fs vfs.FS) error { return fs.MkdirAll("/out") },
+		Classify: func(fs vfs.FS, runErr error) classify.Outcome {
+			if runErr != nil {
+				return classify.Crash
+			}
+			got, err := vfs.ReadFile(fs, "/out/data.bin")
+			if err != nil {
+				return classify.Crash
+			}
+			if bytes.Equal(got, golden) {
+				return classify.Benign
+			}
+			return classify.SDC
+		},
+	}
+}
+
+func TestProfileCountsWrites(t *testing.T) {
+	w := toyWorkload()
+	count, err := Profile(w, Config{Model: BitFlip}.Signature())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 8 { // 4096/512 writes
+		t.Fatalf("profiled %d writes, want 8", count)
+	}
+}
+
+func TestProfileFailsWhenWorkloadFails(t *testing.T) {
+	w := Workload{
+		Name: "broken",
+		Run:  func(fs vfs.FS) error { return errors.New("boom") },
+	}
+	if _, err := Profile(w, Config{Model: BitFlip}.Signature()); err == nil {
+		t.Fatal("expected profiling error")
+	}
+}
+
+func TestCampaignBitFlipAlwaysCorrupts(t *testing.T) {
+	res, err := Campaign(CampaignConfig{
+		Fault: Config{Model: BitFlip},
+		Runs:  50,
+		Seed:  1,
+	}, toyWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ProfileCount != 8 {
+		t.Fatalf("profile count = %d", res.ProfileCount)
+	}
+	if res.Tally.Total() != 50 {
+		t.Fatalf("tally total = %d", res.Tally.Total())
+	}
+	// Every bit flip in this workload lands in real data: all runs SDC.
+	if res.Tally.Count(classify.SDC) != 50 {
+		t.Fatalf("SDC = %d, want 50: %s", res.Tally.Count(classify.SDC), res.Tally.String())
+	}
+	for _, rec := range res.Records {
+		if !rec.Fired {
+			t.Fatalf("run %d never fired (target %d)", rec.Index, rec.Target)
+		}
+		if rec.Target < 0 || rec.Target >= 8 {
+			t.Fatalf("target %d out of profile range", rec.Target)
+		}
+	}
+}
+
+func TestCampaignDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) []classify.Outcome {
+		res, err := Campaign(CampaignConfig{
+			Fault:   Config{Model: BitFlip},
+			Runs:    30,
+			Seed:    42,
+			Workers: workers,
+		}, toyWorkload())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]classify.Outcome, len(res.Records))
+		for i, r := range res.Records {
+			out[i] = r.Outcome
+		}
+		return out
+	}
+	serial := run(1)
+	parallel := run(8)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("run %d differs between worker counts", i)
+		}
+	}
+}
+
+func TestCampaignDroppedWriteNeverBenignHere(t *testing.T) {
+	res, err := Campaign(CampaignConfig{
+		Fault: Config{Model: DroppedWrite},
+		Runs:  20,
+		Seed:  2,
+	}, toyWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tally.Count(classify.Benign) != 0 {
+		t.Fatalf("dropped writes produced benign runs: %s", res.Tally.String())
+	}
+}
+
+func TestCampaignShornWriteOnUniformDataIsBenign(t *testing.T) {
+	// The toy workload writes a uniform pattern in 512-byte sequential
+	// chunks, so stale one-sector-lagged data equals the new data: shorn
+	// writes are masked — the Nyx phenomenology in miniature.
+	res, err := Campaign(CampaignConfig{
+		Fault: Config{Model: ShornWrite},
+		Runs:  20,
+		Seed:  3,
+	}, toyWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tally.Count(classify.Benign) != 20 {
+		t.Fatalf("expected all benign, got %s", res.Tally.String())
+	}
+}
+
+func TestCampaignRejectsZeroRuns(t *testing.T) {
+	if _, err := Campaign(CampaignConfig{Fault: Config{Model: BitFlip}}, toyWorkload()); err == nil {
+		t.Fatal("expected error for Runs=0")
+	}
+}
+
+func TestCampaignNoTargets(t *testing.T) {
+	w := Workload{
+		Name: "no-io",
+		Run:  func(fs vfs.FS) error { return nil },
+	}
+	_, err := Campaign(CampaignConfig{Fault: Config{Model: BitFlip}, Runs: 5}, w)
+	if !errors.Is(err, ErrNoTargets) {
+		t.Fatalf("err = %v, want ErrNoTargets", err)
+	}
+}
+
+func TestRunRecoveringCatchesPanics(t *testing.T) {
+	w := Workload{
+		Name: "panics",
+		Run: func(fs vfs.FS) error {
+			var s []int
+			_ = s[3] // index out of range
+			return nil
+		},
+		Classify: func(fs vfs.FS, runErr error) classify.Outcome {
+			if runErr != nil {
+				return classify.Crash
+			}
+			return classify.Benign
+		},
+	}
+	rec, err := RunOnce(w, Config{Model: BitFlip}.Signature(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Outcome != classify.Crash {
+		t.Fatalf("outcome = %s, want crash", rec.Outcome)
+	}
+	if rec.RunErr == nil || !strings.Contains(rec.RunErr.Error(), "panic") {
+		t.Fatalf("runErr = %v", rec.RunErr)
+	}
+}
+
+func TestRunOnceDefaultClassification(t *testing.T) {
+	w := Workload{
+		Name: "silent",
+		Run:  func(fs vfs.FS) error { return vfs.WriteFile(fs, "/f", []byte("x")) },
+	}
+	rec, err := RunOnce(w, Config{Model: BitFlip}.Signature(), 99, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Outcome != classify.Benign {
+		t.Fatalf("outcome = %s", rec.Outcome)
+	}
+}
+
+func TestGoldenSnapshotAndSnapshot(t *testing.T) {
+	w := toyWorkload()
+	snap, err := GoldenSnapshot(w, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != 1 {
+		t.Fatalf("snapshot has %d files", len(snap))
+	}
+	data, ok := snap["/out/data.bin"]
+	if !ok || len(data) != 4096 {
+		t.Fatalf("missing golden file: %v", snap)
+	}
+}
+
+func TestCampaignResultCellLabel(t *testing.T) {
+	res := CampaignResult{Workload: "nyx", Signature: Config{Model: DroppedWrite}.Signature()}
+	if got := res.Cell().Label; got != "nyx/DW" {
+		t.Fatalf("label = %q", got)
+	}
+}
+
+func TestCampaignRunErrorPropagates(t *testing.T) {
+	w := Workload{
+		Name:  "setup-fails-sometimes",
+		Setup: func(fs vfs.FS) error { return fmt.Errorf("setup exploded") },
+		Run:   func(fs vfs.FS) error { return vfs.WriteFile(fs, "/f", []byte("x")) },
+	}
+	if _, err := Campaign(CampaignConfig{Fault: Config{Model: BitFlip}, Runs: 2}, w); err == nil {
+		t.Fatal("expected setup error to propagate")
+	}
+}

@@ -1,0 +1,320 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"ffis/internal/stats"
+	"ffis/internal/vfs"
+)
+
+// Injector holds the armed fault state shared by every handle of an
+// InjectorFS. It counts dynamic executions of the signature's primitive and
+// corrupts exactly the target-th instance (0-based), as the paper's fault
+// injector does: "for each fault injection run, it first generates a random
+// number from 0 to count-1 ... when the execution count of the target
+// primitive hits that random number, the fault injector applies the fault".
+type Injector struct {
+	sig    Signature
+	target int64
+	rng    *stats.RNG
+
+	count atomic.Int64
+
+	mu       sync.Mutex
+	mutation *Mutation
+}
+
+// NewInjector arms an injector for the given signature at the given dynamic
+// instance. rng supplies the intra-buffer randomness (bit position). The
+// injector is single-shot: after firing it passes everything through.
+func NewInjector(sig Signature, target int64, rng *stats.RNG) *Injector {
+	return &Injector{sig: Signature{
+		Model:     sig.Model,
+		Primitive: sig.Primitive,
+		Feature:   sig.Feature.normalize(),
+	}, target: target, rng: rng}
+}
+
+// Disarmed returns an injector that never fires; wrapping with it yields a
+// pure pass-through, used to validate transparency (R1) in tests.
+func Disarmed(sig Signature) *Injector {
+	return NewInjector(sig, -1, stats.NewRNG(0))
+}
+
+// Signature returns the armed fault signature.
+func (inj *Injector) Signature() Signature { return inj.sig }
+
+// Target returns the dynamic primitive instance that will be corrupted.
+func (inj *Injector) Target() int64 { return inj.target }
+
+// Count returns how many instances of the target primitive have executed.
+func (inj *Injector) Count() int64 { return inj.count.Load() }
+
+// Fired reports whether the fault has been planted, and the mutation record
+// if so.
+func (inj *Injector) Fired() (Mutation, bool) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if inj.mutation == nil {
+		return Mutation{}, false
+	}
+	return *inj.mutation, true
+}
+
+// claim atomically checks whether this primitive execution is the target.
+func (inj *Injector) claim() bool {
+	idx := inj.count.Add(1) - 1
+	return idx == inj.target
+}
+
+func (inj *Injector) record(m Mutation) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	cp := m
+	inj.mutation = &cp
+}
+
+// Wrap returns a file system that behaves exactly like inner except for the
+// single corrupted primitive instance.
+func (inj *Injector) Wrap(inner vfs.FS) vfs.FS {
+	return &InjectorFS{inner: inner, inj: inj}
+}
+
+// InjectorFS is the FFIS interposition layer (Figure 2): a drop-in vfs.FS
+// whose write-side primitives consult the injector before delegating.
+type InjectorFS struct {
+	inner vfs.FS
+	inj   *Injector
+}
+
+func (f *InjectorFS) wrapFile(file vfs.File, err error) (vfs.File, error) {
+	if err != nil {
+		return nil, err
+	}
+	return &injectorFile{File: file, inj: f.inj}, nil
+}
+
+// Create delegates and wraps the returned handle.
+func (f *InjectorFS) Create(name string) (vfs.File, error) {
+	return f.wrapFile(f.inner.Create(name))
+}
+
+// Open delegates and wraps the returned handle.
+func (f *InjectorFS) Open(name string) (vfs.File, error) {
+	return f.wrapFile(f.inner.Open(name))
+}
+
+// Append delegates and wraps the returned handle.
+func (f *InjectorFS) Append(name string) (vfs.File, error) {
+	return f.wrapFile(f.inner.Append(name))
+}
+
+// Mkdir delegates unchanged.
+func (f *InjectorFS) Mkdir(name string) error { return f.inner.Mkdir(name) }
+
+// MkdirAll delegates unchanged.
+func (f *InjectorFS) MkdirAll(name string) error { return f.inner.MkdirAll(name) }
+
+// Remove delegates unchanged.
+func (f *InjectorFS) Remove(name string) error { return f.inner.Remove(name) }
+
+// RemoveAll delegates unchanged.
+func (f *InjectorFS) RemoveAll(name string) error { return f.inner.RemoveAll(name) }
+
+// Rename delegates unchanged.
+func (f *InjectorFS) Rename(oldName, newName string) error {
+	return f.inner.Rename(oldName, newName)
+}
+
+// Stat delegates unchanged.
+func (f *InjectorFS) Stat(name string) (vfs.FileInfo, error) { return f.inner.Stat(name) }
+
+// ReadDir delegates unchanged.
+func (f *InjectorFS) ReadDir(name string) ([]vfs.FileInfo, error) {
+	return f.inner.ReadDir(name)
+}
+
+// Mknod hosts faults when the signature targets the mknod primitive
+// (Table I lists FFIS_mknod as a host): the mode/dev arguments are treated
+// as the write buffer.
+func (f *InjectorFS) Mknod(name string, mode uint32, dev uint64) error {
+	if f.inj.sig.Primitive == vfs.PrimMknod && f.inj.claim() {
+		switch f.inj.sig.Model {
+		case BitFlip:
+			buf := []byte{byte(mode), byte(mode >> 8), byte(mode >> 16), byte(mode >> 24)}
+			mut, m := mutateBitFlip(buf, f.inj.sig.Feature, f.inj.rng)
+			m.Path = name
+			f.inj.record(m)
+			mode = uint32(mut[0]) | uint32(mut[1])<<8 | uint32(mut[2])<<16 | uint32(mut[3])<<24
+		case DroppedWrite:
+			f.inj.record(Mutation{Model: DroppedWrite, Path: name, Dropped: true})
+			return nil // node silently never created
+		case ShornWrite:
+			// A shorn mknod persists the mode but loses the device number.
+			f.inj.record(Mutation{Model: ShornWrite, Path: name, Kept: 4})
+			dev = 0
+		}
+	}
+	return f.inner.Mknod(name, mode, dev)
+}
+
+// Chmod hosts faults when the signature targets the chmod primitive.
+func (f *InjectorFS) Chmod(name string, mode uint32) error {
+	if f.inj.sig.Primitive == vfs.PrimChmod && f.inj.claim() {
+		switch f.inj.sig.Model {
+		case BitFlip:
+			buf := []byte{byte(mode), byte(mode >> 8), byte(mode >> 16), byte(mode >> 24)}
+			mut, m := mutateBitFlip(buf, f.inj.sig.Feature, f.inj.rng)
+			m.Path = name
+			f.inj.record(m)
+			mode = uint32(mut[0]) | uint32(mut[1])<<8 | uint32(mut[2])<<16 | uint32(mut[3])<<24
+		case DroppedWrite:
+			f.inj.record(Mutation{Model: DroppedWrite, Path: name, Dropped: true})
+			return nil
+		case ShornWrite:
+			f.inj.record(Mutation{Model: ShornWrite, Path: name, Kept: 2})
+			mode &= 0xFFFF
+		}
+	}
+	return f.inner.Chmod(name, mode)
+}
+
+// Truncate delegates unchanged.
+func (f *InjectorFS) Truncate(name string, size int64) error {
+	return f.inner.Truncate(name, size)
+}
+
+// injectorFile interposes on the write path of a single handle. This is the
+// Go rendering of Figure 3a: the (buffer, size, offset) triple passed to
+// FFIS_write is modified according to the fault model before being fed to
+// the underlying pwrite.
+type injectorFile struct {
+	vfs.File
+	inj *Injector
+}
+
+// Write intercepts the sequential write primitive.
+func (f *injectorFile) Write(p []byte) (int, error) {
+	if f.inj.sig.Primitive != vfs.PrimWrite || !f.inj.claim() {
+		return f.File.Write(p)
+	}
+	off, err := f.File.Seek(0, io.SeekCurrent)
+	if err != nil {
+		off = 0 // offset unknown; treat buffer as block-aligned
+	}
+	mutated, skip, m := f.inj.applyWriteFault(f.File, p, off)
+	m.Path = f.File.Name()
+	m.Offset = off
+	f.inj.record(m)
+	if skip {
+		// The device dropped the write but acknowledged it: advance the
+		// sequential offset so subsequent writes land where the
+		// application believes they will, leaving a hole of stale bytes.
+		if _, err := f.File.Seek(int64(len(p)), io.SeekCurrent); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	}
+	n, err := f.File.Write(mutated)
+	if n > len(p) {
+		n = len(p)
+	}
+	return n, err
+}
+
+// WriteAt intercepts the positional write primitive (pwrite).
+func (f *injectorFile) WriteAt(p []byte, off int64) (int, error) {
+	if f.inj.sig.Primitive != vfs.PrimWrite || !f.inj.claim() {
+		return f.File.WriteAt(p, off)
+	}
+	mutated, skip, m := f.inj.applyWriteFault(f.File, p, off)
+	m.Path = f.File.Name()
+	m.Offset = off
+	f.inj.record(m)
+	if skip {
+		return len(p), nil
+	}
+	n, err := f.File.WriteAt(mutated, off)
+	if n > len(p) {
+		n = len(p)
+	}
+	return n, err
+}
+
+// applyWriteFault produces the corrupted buffer for the armed model.
+// skip reports that the write must be suppressed entirely (dropped write).
+func (inj *Injector) applyWriteFault(file vfs.File, p []byte, off int64) (mutated []byte, skip bool, m Mutation) {
+	switch inj.sig.Model {
+	case BitFlip:
+		inj.mu.Lock()
+		mutated, m = mutateBitFlip(p, inj.sig.Feature, inj.rng)
+		inj.mu.Unlock()
+		m.Length = len(p)
+		return mutated, false, m
+
+	case DroppedWrite:
+		return nil, true, Mutation{Model: DroppedWrite, Length: len(p), Dropped: true}
+
+	case ShornWrite:
+		return inj.applyShorn(file, p, off)
+
+	default:
+		return p, false, Mutation{Model: inj.sig.Model, Length: len(p)}
+	}
+}
+
+// applyShorn builds the post-fault content of a shorn write. Sectors within
+// the kept fraction of each 4 KiB block persist the new data; lost sectors
+// retain whatever the device previously stored there. Where the file had no
+// previous content (an append), the lost sectors surface stale data from the
+// device's FTL — modelled as the new buffer shifted back one sector, which
+// reproduces the paper's observation that shorn remnants are "within an
+// order of magnitude difference from the original data".
+func (inj *Injector) applyShorn(file vfs.File, p []byte, off int64) ([]byte, bool, Mutation) {
+	f := inj.sig.Feature
+	keep, droppedSectors := shornPlan(off, len(p), f)
+
+	// Start from the stale view: previous file content where it exists...
+	out := make([]byte, len(p))
+	n, _ := file.ReadAt(out, off) // best-effort; short read leaves zeros
+	if n < len(out) {
+		// ...and FTL remnants beyond old EOF: the buffer lagged by one
+		// sector, so lost sectors hold plausible same-magnitude data.
+		for i := n; i < len(out); i++ {
+			src := i - f.SectorSize
+			if src < 0 {
+				src = 0
+			}
+			out[i] = p[src]
+		}
+	}
+	kept := 0
+	for _, seg := range keep {
+		kept += copy(out[seg.Start:seg.End], p[seg.Start:seg.End])
+	}
+	m := Mutation{Model: ShornWrite, Length: len(p), Kept: kept, Sectors: droppedSectors}
+	return out, false, m
+}
+
+// String summarizes the mutation for logs.
+func (m Mutation) String() string {
+	switch m.Model {
+	case BitFlip:
+		return fmt.Sprintf("bit-flip %s off=%d len=%d bit=%d", m.Path, m.Offset, m.Length, m.BitPos)
+	case ShornWrite:
+		return fmt.Sprintf("shorn-write %s off=%d len=%d kept=%d lost-sectors=%d",
+			m.Path, m.Offset, m.Length, m.Kept, m.Sectors)
+	case DroppedWrite:
+		return fmt.Sprintf("dropped-write %s off=%d len=%d", m.Path, m.Offset, m.Length)
+	default:
+		return fmt.Sprintf("mutation(%d) %s", int(m.Model), m.Path)
+	}
+}
+
+var (
+	_ vfs.FS   = (*InjectorFS)(nil)
+	_ vfs.File = (*injectorFile)(nil)
+)

@@ -1,0 +1,312 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"ffis/internal/stats"
+	"ffis/internal/vfs"
+)
+
+func newWriteInjector(model FaultModel, target int64, seed uint64) *Injector {
+	sig := Config{Model: model}.Signature()
+	return NewInjector(sig, target, stats.NewRNG(seed))
+}
+
+func TestDisarmedInjectorIsTransparent(t *testing.T) {
+	base := vfs.NewMemFS()
+	fs := Disarmed(Config{Model: BitFlip}.Signature()).Wrap(base)
+	payload := bytes.Repeat([]byte{0x5A}, 8192)
+	if err := vfs.WriteFile(fs, "/f", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := vfs.ReadFile(base, "/f")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatal("disarmed injector altered data")
+	}
+}
+
+func TestBitFlipCorruptsExactlyOneWrite(t *testing.T) {
+	base := vfs.NewMemFS()
+	inj := newWriteInjector(BitFlip, 1, 7) // corrupt the 2nd write
+	fs := inj.Wrap(base)
+
+	f, err := fs.Create("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := bytes.Repeat([]byte{0xFF}, 256)
+	for i := 0; i < 4; i++ {
+		if _, err := f.Write(chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+
+	got, _ := vfs.ReadFile(base, "/f")
+	if len(got) != 1024 {
+		t.Fatalf("size = %d", len(got))
+	}
+	diffs := 0
+	region := -1
+	for i, b := range got {
+		if b != 0xFF {
+			diffs += popcount(b ^ 0xFF)
+			region = i / 256
+		}
+	}
+	if diffs != 2 {
+		t.Fatalf("flipped %d bits total, want 2", diffs)
+	}
+	if region != 1 {
+		t.Fatalf("corruption landed in write %d, want write 1", region)
+	}
+	mut, fired := inj.Fired()
+	if !fired || mut.Model != BitFlip || mut.Path != "/f" {
+		t.Fatalf("mutation record: %+v fired=%v", mut, fired)
+	}
+	if inj.Count() != 4 {
+		t.Fatalf("counted %d writes, want 4", inj.Count())
+	}
+}
+
+func TestBitFlipOnWriteAt(t *testing.T) {
+	base := vfs.NewMemFS()
+	inj := newWriteInjector(BitFlip, 0, 3)
+	fs := inj.Wrap(base)
+	f, _ := fs.Create("/f")
+	orig := bytes.Repeat([]byte{0x00}, 512)
+	if _, err := f.WriteAt(orig, 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, _ := vfs.ReadFile(base, "/f")
+	diffs := 0
+	for _, b := range got {
+		diffs += popcount(b)
+	}
+	if diffs != 2 {
+		t.Fatalf("WriteAt flip count = %d", diffs)
+	}
+	mut, _ := inj.Fired()
+	if mut.Offset != 0 || mut.Length != 512 {
+		t.Fatalf("mutation: %+v", mut)
+	}
+}
+
+func TestDroppedWriteLeavesHole(t *testing.T) {
+	base := vfs.NewMemFS()
+	inj := newWriteInjector(DroppedWrite, 1, 5)
+	fs := inj.Wrap(base)
+	f, _ := fs.Create("/f")
+	for i := 0; i < 3; i++ {
+		chunk := bytes.Repeat([]byte{byte('A' + i)}, 100)
+		n, err := f.Write(chunk)
+		if err != nil || n != 100 {
+			t.Fatalf("write %d: n=%d err=%v (dropped write must still report success)", i, n, err)
+		}
+	}
+	f.Close()
+	got, _ := vfs.ReadFile(base, "/f")
+	if len(got) != 300 {
+		t.Fatalf("file size = %d, want 300 (offset must advance)", len(got))
+	}
+	if got[0] != 'A' || got[250] != 'C' {
+		t.Fatalf("neighbouring writes corrupted: %q %q", got[0], got[250])
+	}
+	for i := 100; i < 200; i++ {
+		if got[i] != 0 {
+			t.Fatalf("dropped region has data at %d: %v", i, got[i])
+		}
+	}
+}
+
+func TestDroppedWriteAtReportsSuccess(t *testing.T) {
+	base := vfs.NewMemFS()
+	inj := newWriteInjector(DroppedWrite, 0, 5)
+	fs := inj.Wrap(base)
+	f, _ := fs.Create("/f")
+	n, err := f.WriteAt(bytes.Repeat([]byte{1}, 64), 0)
+	if err != nil || n != 64 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	f.Close()
+	if size, _ := base.Stat("/f"); size.Size != 0 {
+		t.Fatalf("dropped WriteAt persisted %d bytes", size.Size)
+	}
+}
+
+func TestShornWriteKeepsLeadingFraction(t *testing.T) {
+	base := vfs.NewMemFS()
+	inj := newWriteInjector(ShornWrite, 0, 11)
+	fs := inj.Wrap(base)
+	f, _ := fs.Create("/f")
+	buf := bytes.Repeat([]byte{0xAB}, 4096)
+	n, err := f.Write(buf)
+	if err != nil || n != 4096 {
+		t.Fatalf("n=%d err=%v (shorn write must report full size)", n, err)
+	}
+	f.Close()
+	got, _ := vfs.ReadFile(base, "/f")
+	if len(got) != 4096 {
+		t.Fatalf("size = %d, want 4096", len(got))
+	}
+	for i := 0; i < 3584; i++ {
+		if got[i] != 0xAB {
+			t.Fatalf("kept region corrupted at %d", i)
+		}
+	}
+	// Lost tail: stale FTL data, here the buffer lagged by one sector —
+	// same value in this uniform buffer, but the mutation must be recorded.
+	mut, fired := inj.Fired()
+	if !fired || mut.Model != ShornWrite {
+		t.Fatal("shorn mutation not recorded")
+	}
+	if mut.Kept != 3584 || mut.Sectors != 1 {
+		t.Fatalf("mutation: %+v", mut)
+	}
+}
+
+func TestShornWritePreservesOldContentInLostRegion(t *testing.T) {
+	base := vfs.NewMemFS()
+	// Prepopulate the file so the lost tail has stale content to retain.
+	old := bytes.Repeat([]byte{0x11}, 4096)
+	if err := vfs.WriteFile(base, "/f", old); err != nil {
+		t.Fatal(err)
+	}
+	inj := newWriteInjector(ShornWrite, 0, 13)
+	fs := inj.Wrap(base)
+	f, err := fs.Append("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	newData := bytes.Repeat([]byte{0x22}, 4096)
+	if _, err := f.WriteAt(newData, 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, _ := vfs.ReadFile(base, "/f")
+	for i := 0; i < 3584; i++ {
+		if got[i] != 0x22 {
+			t.Fatalf("kept region wrong at %d: %x", i, got[i])
+		}
+	}
+	for i := 3584; i < 4096; i++ {
+		if got[i] != 0x11 {
+			t.Fatalf("lost region should retain stale 0x11 at %d, got %x", i, got[i])
+		}
+	}
+}
+
+func TestShornWriteThreeEighthsFeature(t *testing.T) {
+	base := vfs.NewMemFS()
+	sig := Config{Model: ShornWrite, Feature: Feature{ShornKeepNum: 3, ShornKeepDen: 8}}.Signature()
+	inj := NewInjector(sig, 0, stats.NewRNG(17))
+	fs := inj.Wrap(base)
+	f, _ := fs.Create("/f")
+	f.Write(bytes.Repeat([]byte{0xCD}, 4096))
+	f.Close()
+	mut, _ := inj.Fired()
+	if mut.Kept != 1536 {
+		t.Fatalf("kept = %d, want 1536 (3/8 of 4096)", mut.Kept)
+	}
+	if mut.Sectors != 5 {
+		t.Fatalf("sectors = %d, want 5", mut.Sectors)
+	}
+}
+
+func TestInjectorFiresOnlyOnce(t *testing.T) {
+	base := vfs.NewMemFS()
+	inj := newWriteInjector(BitFlip, 0, 19)
+	fs := inj.Wrap(base)
+	f, _ := fs.Create("/f")
+	f.Write(bytes.Repeat([]byte{0}, 64)) // target: corrupted
+	f.Write(bytes.Repeat([]byte{0}, 64)) // must pass through clean
+	f.Close()
+	got, _ := vfs.ReadFile(base, "/f")
+	diffs := 0
+	for _, b := range got[64:] {
+		diffs += popcount(b)
+	}
+	if diffs != 0 {
+		t.Fatal("second write was corrupted; injector must be single-shot")
+	}
+}
+
+func TestInjectorTargetBeyondCountNeverFires(t *testing.T) {
+	base := vfs.NewMemFS()
+	inj := newWriteInjector(BitFlip, 1000, 23)
+	fs := inj.Wrap(base)
+	vfs.WriteFile(fs, "/f", []byte("clean"))
+	if _, fired := inj.Fired(); fired {
+		t.Fatal("injector fired past its target")
+	}
+	got, _ := vfs.ReadFile(base, "/f")
+	if string(got) != "clean" {
+		t.Fatal("data corrupted without firing")
+	}
+}
+
+func TestMknodFaultHosting(t *testing.T) {
+	base := vfs.NewMemFS()
+	sig := Config{Model: DroppedWrite, Primitive: vfs.PrimMknod}.Signature()
+	inj := NewInjector(sig, 0, stats.NewRNG(29))
+	fs := inj.Wrap(base)
+	if err := fs.Mknod("/dev0", 0o600, 7); err != nil {
+		t.Fatalf("dropped mknod must report success: %v", err)
+	}
+	if vfs.Exists(base, "/dev0") {
+		t.Fatal("dropped mknod still created the node")
+	}
+	// Next mknod goes through.
+	if err := fs.Mknod("/dev1", 0o600, 7); err != nil {
+		t.Fatal(err)
+	}
+	if !vfs.Exists(base, "/dev1") {
+		t.Fatal("subsequent mknod suppressed")
+	}
+}
+
+func TestChmodFaultHosting(t *testing.T) {
+	base := vfs.NewMemFS()
+	vfs.WriteFile(base, "/f", []byte("x"))
+	sig := Config{Model: BitFlip, Primitive: vfs.PrimChmod}.Signature()
+	inj := NewInjector(sig, 0, stats.NewRNG(31))
+	fs := inj.Wrap(base)
+	if err := fs.Chmod("/f", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := base.Stat("/f")
+	if info.Mode == 0o644 {
+		t.Fatal("chmod bit-flip did not alter the mode")
+	}
+	mut, fired := inj.Fired()
+	if !fired || mut.Path != "/f" {
+		t.Fatalf("mutation: %+v", mut)
+	}
+}
+
+func TestWritePrimitiveUntouchedWhenTargetingMknod(t *testing.T) {
+	base := vfs.NewMemFS()
+	sig := Config{Model: BitFlip, Primitive: vfs.PrimMknod}.Signature()
+	inj := NewInjector(sig, 0, stats.NewRNG(37))
+	fs := inj.Wrap(base)
+	payload := bytes.Repeat([]byte{0x77}, 1024)
+	vfs.WriteFile(fs, "/f", payload)
+	got, _ := vfs.ReadFile(base, "/f")
+	if !bytes.Equal(got, payload) {
+		t.Fatal("write corrupted although signature targets mknod")
+	}
+}
+
+func TestMutationString(t *testing.T) {
+	for _, m := range []Mutation{
+		{Model: BitFlip, Path: "/f", BitPos: 3},
+		{Model: ShornWrite, Path: "/f", Kept: 10},
+		{Model: DroppedWrite, Path: "/f"},
+	} {
+		if m.String() == "" {
+			t.Errorf("empty string for %+v", m)
+		}
+	}
+}

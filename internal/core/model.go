@@ -1,0 +1,230 @@
+// Package core implements FFIS itself: the fault models of Table I, fault
+// signatures, the I/O profiler, the fault injector that corrupts exactly one
+// dynamic instance of a file-system primitive, and the campaign runner that
+// repeats injections until statistical significance.
+//
+// The package mirrors the three components of Figure 4 in the paper:
+//
+//   - Fault generator — Config.Signature() turns a user configuration into a
+//     fault signature (fault model + target primitive + model feature).
+//   - I/O profiler — Profile() executes the workload fault-free on a
+//     CountingFS and reports the dynamic count of the target primitive.
+//   - Fault injector — NewInjector()/InjectorFS corrupt the randomly chosen
+//     instance; Campaign() loops runs and classifies outcomes.
+package core
+
+import (
+	"fmt"
+
+	"ffis/internal/stats"
+	"ffis/internal/vfs"
+)
+
+// FaultModel identifies one of the SSD partial-failure manifestations FFIS
+// supports (Table I).
+type FaultModel int
+
+const (
+	// BitFlip flips consecutive bits at a random position in the write
+	// buffer, modelling silent bit corruption that escaped the SSD's ECC.
+	BitFlip FaultModel = iota
+	// ShornWrite persists only the leading fraction of each 4 KiB block at
+	// 512-byte sector granularity while still reporting full success,
+	// modelling a write torn by a power fault.
+	ShornWrite
+	// DroppedWrite discards the write entirely yet reports full success,
+	// modelling a write acknowledged by the device but never persisted.
+	DroppedWrite
+)
+
+// Models lists all fault models in presentation order (BF, SW, DW).
+func Models() []FaultModel { return []FaultModel{BitFlip, ShornWrite, DroppedWrite} }
+
+func (m FaultModel) String() string {
+	switch m {
+	case BitFlip:
+		return "bit-flip"
+	case ShornWrite:
+		return "shorn-write"
+	case DroppedWrite:
+		return "dropped-write"
+	default:
+		return fmt.Sprintf("fault-model(%d)", int(m))
+	}
+}
+
+// Short returns the two-letter code used in Figure 7 ("BF", "SW", "DW").
+func (m FaultModel) Short() string {
+	switch m {
+	case BitFlip:
+		return "BF"
+	case ShornWrite:
+		return "SW"
+	case DroppedWrite:
+		return "DW"
+	default:
+		return "??"
+	}
+}
+
+// Spec returns the Table I row for the model: which FUSE primitives can host
+// the fault and the key implementation feature.
+func (m FaultModel) Spec() (primitives []vfs.Primitive, feature string) {
+	prims := []vfs.Primitive{vfs.PrimWrite, vfs.PrimMknod, vfs.PrimChmod}
+	switch m {
+	case BitFlip:
+		return prims, "flip consecutive multiple bits (default 2)"
+	case ShornWrite:
+		return prims, "completely write the first 3/8th or 7/8th of each 4KB block at 512B granularity; reported size unchanged"
+	case DroppedWrite:
+		return prims, "the write operation is ignored; success with the full size is returned"
+	default:
+		return nil, "unknown"
+	}
+}
+
+// Feature carries the per-model tunables of a fault signature. Zero values
+// select the paper's defaults via normalize().
+type Feature struct {
+	// FlipBits is the number of consecutive bits flipped by BitFlip.
+	// The paper's default is 2 (footnote 3 also evaluates 4).
+	FlipBits int
+	// ShornKeepNum/ShornKeepDen give the fraction of each block persisted
+	// by ShornWrite: 3/8 or 7/8 in Table I. Default 7/8.
+	ShornKeepNum int
+	ShornKeepDen int
+	// SectorSize is the persistence granularity of the device (512 B).
+	SectorSize int
+	// BlockSize is the device program block (4 KiB).
+	BlockSize int
+}
+
+// normalize fills in the paper defaults for any unset field.
+func (f Feature) normalize() Feature {
+	if f.FlipBits <= 0 {
+		f.FlipBits = 2
+	}
+	if f.ShornKeepDen <= 0 {
+		f.ShornKeepDen = 8
+	}
+	if f.ShornKeepNum <= 0 {
+		f.ShornKeepNum = 7
+	}
+	if f.ShornKeepNum >= f.ShornKeepDen {
+		f.ShornKeepNum = f.ShornKeepDen - 1
+	}
+	if f.SectorSize <= 0 {
+		f.SectorSize = 512
+	}
+	if f.BlockSize <= 0 {
+		f.BlockSize = 4096
+	}
+	return f
+}
+
+// Signature is the fault signature produced by the fault generator: the
+// fault model, the file-system primitive hosting the fault, and the model
+// feature (Figure 4, "Generating fault signature").
+type Signature struct {
+	Model     FaultModel
+	Primitive vfs.Primitive
+	Feature   Feature
+}
+
+func (s Signature) String() string {
+	return fmt.Sprintf("%s@%s", s.Model, s.Primitive)
+}
+
+// Config is the user configuration the fault generator consumes.
+type Config struct {
+	Model     FaultModel
+	Primitive vfs.Primitive // default: write, as in Section IV-B
+	Feature   Feature
+}
+
+// Signature generates the fault signature from the configuration, applying
+// the paper's defaults for anything unspecified.
+func (c Config) Signature() Signature {
+	prim := c.Primitive
+	if prim == "" {
+		prim = vfs.PrimWrite
+	}
+	return Signature{Model: c.Model, Primitive: prim, Feature: c.Feature.normalize()}
+}
+
+// Mutation describes what a fault model did to one intercepted write, for
+// logging and for tests that assert the corruption shape.
+type Mutation struct {
+	Model   FaultModel
+	Path    string // file the write targeted
+	Offset  int64  // file offset of the write
+	Length  int    // length of the original buffer
+	BitPos  int    // BitFlip: first flipped bit index within the buffer
+	Kept    int    // ShornWrite: bytes actually persisted
+	Dropped bool   // DroppedWrite: write suppressed
+	Sectors int    // ShornWrite: sectors suppressed
+}
+
+// mutateBitFlip returns a copy of buf with feature.FlipBits consecutive bits
+// flipped starting at a random bit position. Flipping may straddle byte
+// boundaries; positions are uniform over the whole buffer.
+func mutateBitFlip(buf []byte, f Feature, rng *stats.RNG) ([]byte, Mutation) {
+	out := append([]byte(nil), buf...)
+	if len(out) == 0 {
+		return out, Mutation{Model: BitFlip, BitPos: -1}
+	}
+	totalBits := len(out) * 8
+	width := f.FlipBits
+	if width > totalBits {
+		width = totalBits
+	}
+	start := rng.Intn(totalBits - width + 1)
+	for i := 0; i < width; i++ {
+		bit := start + i
+		out[bit/8] ^= 1 << uint(bit%8)
+	}
+	return out, Mutation{Model: BitFlip, Length: len(buf), BitPos: start}
+}
+
+// shornPlan computes which byte ranges of a write survive a shorn write.
+// The device persists only the first KeepNum/KeepDen of every BlockSize
+// block, rounded to SectorSize sectors; everything else is lost. Block
+// boundaries are device-absolute, so the plan depends on the file offset.
+func shornPlan(off int64, length int, f Feature) (keep []segment, droppedSectors int) {
+	if length == 0 {
+		return nil, 0
+	}
+	keepBytesPerBlock := f.BlockSize * f.ShornKeepNum / f.ShornKeepDen
+	keepBytesPerBlock -= keepBytesPerBlock % f.SectorSize
+	end := off + int64(length)
+	blockStart := off - off%int64(f.BlockSize)
+	for bs := blockStart; bs < end; bs += int64(f.BlockSize) {
+		keepEnd := bs + int64(keepBytesPerBlock)
+		segStart, segEnd := maxI64(bs, off), minI64(keepEnd, end)
+		if segEnd > segStart {
+			keep = append(keep, segment{segStart - off, segEnd - off})
+		}
+		lostStart, lostEnd := maxI64(keepEnd, off), minI64(bs+int64(f.BlockSize), end)
+		if lostEnd > lostStart {
+			droppedSectors += int((lostEnd - lostStart + int64(f.SectorSize) - 1) / int64(f.SectorSize))
+		}
+	}
+	return keep, droppedSectors
+}
+
+// segment is a [Start,End) byte range relative to the write buffer.
+type segment struct{ Start, End int64 }
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"ffis/internal/stats"
+	"ffis/internal/vfs"
+)
+
+func TestModelStrings(t *testing.T) {
+	if BitFlip.String() != "bit-flip" || BitFlip.Short() != "BF" {
+		t.Error("bit-flip naming")
+	}
+	if ShornWrite.String() != "shorn-write" || ShornWrite.Short() != "SW" {
+		t.Error("shorn-write naming")
+	}
+	if DroppedWrite.String() != "dropped-write" || DroppedWrite.Short() != "DW" {
+		t.Error("dropped-write naming")
+	}
+	if FaultModel(99).Short() != "??" {
+		t.Error("unknown model short")
+	}
+}
+
+func TestModelsOrder(t *testing.T) {
+	ms := Models()
+	if len(ms) != 3 || ms[0] != BitFlip || ms[1] != ShornWrite || ms[2] != DroppedWrite {
+		t.Fatalf("Models() = %v", ms)
+	}
+}
+
+func TestSpecListsWritePrimitive(t *testing.T) {
+	for _, m := range Models() {
+		prims, feature := m.Spec()
+		if len(prims) == 0 || prims[0] != vfs.PrimWrite {
+			t.Errorf("%s spec primitives = %v", m, prims)
+		}
+		if feature == "" {
+			t.Errorf("%s has empty feature", m)
+		}
+	}
+}
+
+func TestFeatureDefaults(t *testing.T) {
+	f := Feature{}.normalize()
+	if f.FlipBits != 2 {
+		t.Errorf("FlipBits = %d, want paper default 2", f.FlipBits)
+	}
+	if f.ShornKeepNum != 7 || f.ShornKeepDen != 8 {
+		t.Errorf("shorn keep = %d/%d, want 7/8", f.ShornKeepNum, f.ShornKeepDen)
+	}
+	if f.SectorSize != 512 || f.BlockSize != 4096 {
+		t.Errorf("geometry = %d/%d, want 512/4096", f.SectorSize, f.BlockSize)
+	}
+}
+
+func TestFeatureKeepClamped(t *testing.T) {
+	f := Feature{ShornKeepNum: 9, ShornKeepDen: 8}.normalize()
+	if f.ShornKeepNum >= f.ShornKeepDen {
+		t.Fatalf("keep fraction not clamped: %d/%d", f.ShornKeepNum, f.ShornKeepDen)
+	}
+}
+
+func TestConfigSignatureDefaults(t *testing.T) {
+	sig := Config{Model: BitFlip}.Signature()
+	if sig.Primitive != vfs.PrimWrite {
+		t.Errorf("default primitive = %s, want write", sig.Primitive)
+	}
+	if sig.Feature.FlipBits != 2 {
+		t.Errorf("feature not normalized")
+	}
+	if sig.String() != "bit-flip@write" {
+		t.Errorf("signature string = %q", sig.String())
+	}
+}
+
+func TestMutateBitFlipFlipsExactlyN(t *testing.T) {
+	rng := stats.NewRNG(1)
+	orig := make([]byte, 64)
+	for i := range orig {
+		orig[i] = byte(i)
+	}
+	for trial := 0; trial < 200; trial++ {
+		mut, m := mutateBitFlip(orig, Feature{FlipBits: 2}.normalize(), rng)
+		if bytes.Equal(mut, orig) {
+			t.Fatal("no bits flipped")
+		}
+		diffBits := 0
+		for i := range orig {
+			diffBits += popcount(mut[i] ^ orig[i])
+		}
+		if diffBits != 2 {
+			t.Fatalf("flipped %d bits, want 2", diffBits)
+		}
+		// Flipped bits must be consecutive.
+		first := m.BitPos
+		if mut[first/8]&(1<<uint(first%8)) == orig[first/8]&(1<<uint(first%8)) {
+			t.Fatal("recorded BitPos not actually flipped")
+		}
+		second := first + 1
+		if mut[second/8]&(1<<uint(second%8)) == orig[second/8]&(1<<uint(second%8)) {
+			t.Fatal("second consecutive bit not flipped")
+		}
+	}
+}
+
+func popcount(b byte) int {
+	n := 0
+	for b != 0 {
+		n += int(b & 1)
+		b >>= 1
+	}
+	return n
+}
+
+func TestMutateBitFlipIsInvolution(t *testing.T) {
+	// Applying the same flip twice restores the buffer: flipping is XOR.
+	f := func(seed uint64, n uint8) bool {
+		size := int(n)%128 + 1
+		rng := stats.NewRNG(seed)
+		orig := make([]byte, size)
+		for i := range orig {
+			orig[i] = byte(rng.Uint64())
+		}
+		mut, m := mutateBitFlip(orig, Feature{FlipBits: 2}.normalize(), rng)
+		// Re-flip the same bits manually.
+		for i := 0; i < 2 && m.BitPos+i < size*8; i++ {
+			bit := m.BitPos + i
+			mut[bit/8] ^= 1 << uint(bit%8)
+		}
+		return bytes.Equal(mut, orig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMutateBitFlipDoesNotAliasInput(t *testing.T) {
+	rng := stats.NewRNG(2)
+	orig := []byte{0xAA, 0xBB}
+	snapshot := append([]byte(nil), orig...)
+	mutateBitFlip(orig, Feature{}.normalize(), rng)
+	if !bytes.Equal(orig, snapshot) {
+		t.Fatal("mutateBitFlip modified the caller's buffer")
+	}
+}
+
+func TestMutateBitFlipEmptyBuffer(t *testing.T) {
+	rng := stats.NewRNG(3)
+	mut, m := mutateBitFlip(nil, Feature{}.normalize(), rng)
+	if len(mut) != 0 || m.BitPos != -1 {
+		t.Fatalf("empty buffer mutation: %v %+v", mut, m)
+	}
+}
+
+func TestMutateBitFlipWidthWiderThanBuffer(t *testing.T) {
+	rng := stats.NewRNG(4)
+	orig := []byte{0x00}
+	mut, _ := mutateBitFlip(orig, Feature{FlipBits: 64}.normalize(), rng)
+	if popcount(mut[0]) != 8 {
+		t.Fatalf("expected all 8 bits flipped, got %08b", mut[0])
+	}
+}
+
+func TestShornPlanAlignedBlock(t *testing.T) {
+	f := Feature{}.normalize() // keep 7/8 of 4096 = 3584 bytes
+	keep, dropped := shornPlan(0, 4096, f)
+	if len(keep) != 1 || keep[0].Start != 0 || keep[0].End != 3584 {
+		t.Fatalf("keep = %+v", keep)
+	}
+	if dropped != 1 { // 512 bytes = 1 sector
+		t.Fatalf("dropped sectors = %d, want 1", dropped)
+	}
+}
+
+func TestShornPlanThreeEighths(t *testing.T) {
+	f := Feature{ShornKeepNum: 3, ShornKeepDen: 8}.normalize()
+	keep, dropped := shornPlan(0, 4096, f)
+	if len(keep) != 1 || keep[0].End != 1536 {
+		t.Fatalf("keep = %+v", keep)
+	}
+	if dropped != 5 { // 2560 bytes lost = 5 sectors
+		t.Fatalf("dropped = %d, want 5", dropped)
+	}
+}
+
+func TestShornPlanMultiBlock(t *testing.T) {
+	f := Feature{}.normalize()
+	keep, dropped := shornPlan(0, 8192, f)
+	if len(keep) != 2 {
+		t.Fatalf("keep segments = %+v", keep)
+	}
+	if keep[1].Start != 4096 || keep[1].End != 4096+3584 {
+		t.Fatalf("second block keep = %+v", keep[1])
+	}
+	if dropped != 2 {
+		t.Fatalf("dropped = %d", dropped)
+	}
+}
+
+func TestShornPlanUnalignedOffset(t *testing.T) {
+	f := Feature{}.normalize()
+	// Write of 1024 bytes starting at 3072: bytes 3072..3583 are inside
+	// the kept fraction, 3584..4095 are lost.
+	keep, dropped := shornPlan(3072, 1024, f)
+	if len(keep) != 1 || keep[0].Start != 0 || keep[0].End != 512 {
+		t.Fatalf("keep = %+v", keep)
+	}
+	if dropped != 1 {
+		t.Fatalf("dropped = %d", dropped)
+	}
+}
+
+func TestShornPlanEntirelyInLostRegion(t *testing.T) {
+	f := Feature{}.normalize()
+	keep, dropped := shornPlan(3584, 512, f)
+	if len(keep) != 0 {
+		t.Fatalf("keep = %+v, want none", keep)
+	}
+	if dropped != 1 {
+		t.Fatalf("dropped = %d", dropped)
+	}
+}
+
+func TestShornPlanEmptyWrite(t *testing.T) {
+	keep, dropped := shornPlan(0, 0, Feature{}.normalize())
+	if keep != nil || dropped != 0 {
+		t.Fatalf("empty write plan: %+v %d", keep, dropped)
+	}
+}
+
+// Property: plan segments are disjoint, sorted, within bounds, and the kept
+// byte count never exceeds the write length.
+func TestShornPlanQuick(t *testing.T) {
+	f := func(offRaw uint32, lenRaw uint16, threeEighths bool) bool {
+		feat := Feature{}.normalize()
+		if threeEighths {
+			feat = Feature{ShornKeepNum: 3, ShornKeepDen: 8}.normalize()
+		}
+		off := int64(offRaw % 65536)
+		length := int(lenRaw)
+		keep, _ := shornPlan(off, length, feat)
+		var prevEnd, total int64
+		for _, s := range keep {
+			if s.Start < prevEnd || s.End <= s.Start || s.End > int64(length) {
+				return false
+			}
+			total += s.End - s.Start
+			prevEnd = s.End
+		}
+		return total <= int64(length)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

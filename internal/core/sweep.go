@@ -1,0 +1,106 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ffis/internal/classify"
+)
+
+// SweepPoint is one cell of a feature sweep: a fault configuration plus a
+// label for reports.
+type SweepPoint struct {
+	Label string
+	Fault Config
+}
+
+// Sweep runs the same workload under a series of fault configurations —
+// the mechanism behind the ablation studies (2-bit vs 4-bit flips,
+// 3/8 vs 7/8 shorn fraction) the paper touches in footnote 3 and Table I.
+func Sweep(points []SweepPoint, runs int, seed uint64, workers int, w Workload) ([]CampaignResult, error) {
+	out := make([]CampaignResult, 0, len(points))
+	for _, pt := range points {
+		res, err := Campaign(CampaignConfig{
+			Fault:   pt.Fault,
+			Runs:    runs,
+			Seed:    seed,
+			Workers: workers,
+		}, w)
+		if err != nil {
+			return nil, fmt.Errorf("core: sweep point %q: %w", pt.Label, err)
+		}
+		res.Workload = w.Name + "/" + pt.Label
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// FlipWidthSweep returns the bit-flip width ablation points (the paper's
+// default 2 bits and the 4-bit variant of footnote 3, plus 1 and 8 for
+// context).
+func FlipWidthSweep() []SweepPoint {
+	var pts []SweepPoint
+	for _, w := range []int{1, 2, 4, 8} {
+		pts = append(pts, SweepPoint{
+			Label: fmt.Sprintf("flip%d", w),
+			Fault: Config{Model: BitFlip, Feature: Feature{FlipBits: w}},
+		})
+	}
+	return pts
+}
+
+// ShornFractionSweep returns the shorn-write keep-fraction ablation points
+// (Table I's 3/8 and 7/8 plus intermediate fractions).
+func ShornFractionSweep() []SweepPoint {
+	var pts []SweepPoint
+	for _, keep := range []int{1, 3, 5, 7} {
+		pts = append(pts, SweepPoint{
+			Label: fmt.Sprintf("keep%dof8", keep),
+			Fault: Config{Model: ShornWrite, Feature: Feature{ShornKeepNum: keep, ShornKeepDen: 8}},
+		})
+	}
+	return pts
+}
+
+// resultJSON is the export form of a campaign result.
+type resultJSON struct {
+	Workload     string         `json:"workload"`
+	Model        string         `json:"fault_model"`
+	Primitive    string         `json:"primitive"`
+	Runs         int            `json:"runs"`
+	ProfileCount int64          `json:"profile_count"`
+	Outcomes     map[string]int `json:"outcomes"`
+	SDCRate      float64        `json:"sdc_rate"`
+	SDCErrBar95  float64        `json:"sdc_err_bar_95"`
+}
+
+func toJSON(r CampaignResult) resultJSON {
+	out := resultJSON{
+		Workload:     r.Workload,
+		Model:        r.Signature.Model.String(),
+		Primitive:    string(r.Signature.Primitive),
+		Runs:         r.Tally.Total(),
+		ProfileCount: r.ProfileCount,
+		Outcomes:     map[string]int{},
+		SDCRate:      r.Tally.Rate(classify.SDC).P(),
+		SDCErrBar95:  r.Tally.Rate(classify.SDC).ErrorBar95(),
+	}
+	for _, o := range classify.Outcomes() {
+		out.Outcomes[o.String()] = r.Tally.Count(o)
+	}
+	return out
+}
+
+// WriteResultsJSON serializes campaign results as an indented JSON array,
+// the machine-readable artifact the experiment harness archives alongside
+// the text tables.
+func WriteResultsJSON(w io.Writer, results []CampaignResult) error {
+	rows := make([]resultJSON, len(results))
+	for i, r := range results {
+		rows[i] = toJSON(r)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}

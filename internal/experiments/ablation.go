@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ffis/internal/classify"
+	"ffis/internal/core"
+)
+
+// Ablations runs the design-choice sweeps DESIGN.md calls out — flip width
+// (paper footnote 3) on Nyx and shorn keep-fraction (Table I's two
+// variants) on QMCPACK — and renders one table per sweep.
+func Ablations(o Options) (string, error) {
+	o = o.normalize()
+	var b strings.Builder
+
+	nyxW, err := NewWorkload("nyx", o)
+	if err != nil {
+		return "", err
+	}
+	flips, err := core.Sweep(core.FlipWidthSweep(), o.Runs, o.Seed, o.Workers, nyxW)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(renderSweep("Ablation: bit-flip width on Nyx (footnote 3: SDC stays minimal)", flips))
+	b.WriteString("\n")
+
+	qmcW, err := NewWorkload("qmcpack", o)
+	if err != nil {
+		return "", err
+	}
+	shorn, err := core.Sweep(core.ShornFractionSweep(), o.Runs, o.Seed, o.Workers, qmcW)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(renderSweep("Ablation: shorn-write keep fraction on QMCPACK (Table I: 3/8 vs 7/8)", shorn))
+	return b.String(), nil
+}
+
+func renderSweep(title string, results []core.CampaignResult) string {
+	cells := make([]classify.Cell, len(results))
+	for i, r := range results {
+		cells[i] = classify.Cell{Label: r.Workload, Tally: r.Tally}
+	}
+	return classify.Table(title, cells)
+}
+
+// Fig7WithDetector runs the Nyx column of Figure 7 twice — without and
+// with the average-value method — rendering the paper's headline claim
+// that "all SDC cases with Nyx will be changed to detected cases after
+// using the average-value-based method".
+func Fig7WithDetector(o Options) (string, error) {
+	o = o.normalize()
+	var cells []classify.Cell
+	for _, useAvg := range []bool{false, true} {
+		opts := o
+		opts.UseAvgDetector = useAvg
+		suffix := ""
+		if useAvg {
+			suffix = "+avg"
+		}
+		for _, model := range core.Models() {
+			res, err := Fig7Cell("nyx", model, opts)
+			if err != nil {
+				return "", err
+			}
+			cell := res.Cell()
+			cell.Label += suffix
+			cells = append(cells, cell)
+		}
+	}
+	out := classify.Table(
+		fmt.Sprintf("Nyx outcome spectrum without vs with the average-value method (%d runs per cell)", o.Runs),
+		cells)
+	return out, nil
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationsRender(t *testing.T) {
+	o := smallOpts()
+	o.Runs = 4
+	out, err := Ablations(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"flip2", "flip4", "keep3of8", "keep7of8"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ablation table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig7WithDetectorMovesSDCToDetected(t *testing.T) {
+	o := smallOpts()
+	o.Runs = 10
+	out, err := Fig7WithDetector(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "nyx/DW") || !strings.Contains(out, "nyx/DW+avg") {
+		t.Fatalf("table missing cells:\n%s", out)
+	}
+	// The DW+avg row must show 0.0% SDC (all flagged by the detector);
+	// the plain DW row must show a dominant SDC share.
+	var plainSDC, avgSDC string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "nyx/DW+avg") {
+			avgSDC = line
+		} else if strings.HasPrefix(line, "nyx/DW") {
+			plainSDC = line
+		}
+	}
+	if !strings.Contains(avgSDC, " 0.0%") {
+		t.Fatalf("avg-detector row still has SDC: %s", avgSDC)
+	}
+	if strings.Contains(plainSDC, "   0.0%    0.0%") {
+		t.Fatalf("plain DW row shows no corruption: %s", plainSDC)
+	}
+}

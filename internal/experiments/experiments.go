@@ -1,0 +1,427 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section. cmd/experiments drives it from the command line and
+// the repository-root benchmarks call into it with reduced run counts.
+//
+// Each function returns the rendered artifact (text table or image bytes)
+// plus the underlying measurements, so callers can both print
+// paper-comparable output and assert on shapes.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ffis/internal/apps/montage"
+	"ffis/internal/apps/nyx"
+	"ffis/internal/apps/qmcpack"
+	"ffis/internal/classify"
+	"ffis/internal/core"
+	"ffis/internal/metainject"
+	"ffis/internal/stats"
+	"ffis/internal/vfs"
+)
+
+// Options scales the campaigns. Zero values select the paper-scale
+// defaults.
+type Options struct {
+	// Runs per Figure 7 campaign cell (paper: 1,000).
+	Runs int
+	// Seed for all campaigns.
+	Seed uint64
+	// Workers caps campaign parallelism (0 = GOMAXPROCS).
+	Workers int
+	// NyxN overrides the Nyx grid edge (0 = DefaultSim).
+	NyxN int
+	// MetaStride samples the Table III byte sweep (1 = exhaustive).
+	MetaStride int
+	// UseAvgDetector applies the Nyx average-value method during
+	// classification ("all SDC cases with Nyx will be changed to
+	// detected cases after using the average-value-based method").
+	UseAvgDetector bool
+}
+
+// paper-scale defaults.
+func (o Options) normalize() Options {
+	if o.Runs <= 0 {
+		o.Runs = 1000
+	}
+	if o.Seed == 0 {
+		o.Seed = 2021
+	}
+	if o.MetaStride <= 0 {
+		o.MetaStride = 1
+	}
+	return o
+}
+
+func (o Options) nyxSim() nyx.SimConfig {
+	sim := nyx.DefaultSim()
+	if o.NyxN > 0 {
+		sim.N = o.NyxN
+		// Keep the halo mass budget proportional to the volume.
+		sim.NumHalos = sim.N * sim.N * sim.N / 9216
+		if sim.NumHalos < 3 {
+			sim.NumHalos = 3
+		}
+	}
+	return sim
+}
+
+// Table1 renders the fault model specification (Table I).
+func Table1() string {
+	var b strings.Builder
+	b.WriteString("Table I: fault models supported by FFIS\n")
+	fmt.Fprintf(&b, "%-15s %-45s %s\n", "fault model", "examples of affected FUSE primitives", "features")
+	for _, m := range core.Models() {
+		prims, feature := m.Spec()
+		names := make([]string, len(prims))
+		for i, p := range prims {
+			names[i] = "FFIS_" + string(p)
+		}
+		fmt.Fprintf(&b, "%-15s %-45s %s\n", m, strings.Join(names, ", "), feature)
+	}
+	return b.String()
+}
+
+// Table2 renders the application descriptions (Table II).
+func Table2() string {
+	var b strings.Builder
+	b.WriteString("Table II: description of tested HPC applications\n")
+	for _, d := range []string{nyx.Describe(), qmcpack.Describe(), montage.Describe()} {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	return b.String()
+}
+
+// Table3 runs the byte-by-byte HDF5 metadata campaign.
+func Table3(o Options) (string, *metainject.Result, error) {
+	o = o.normalize()
+	res, err := metainject.Run(metainject.CampaignConfig{
+		Sim:    o.nyxSim(),
+		Halo:   nyx.DefaultHalo(),
+		Stride: o.MetaStride,
+		Seed:   o.Seed,
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	return metainject.RenderTable3(res), res, nil
+}
+
+// Table4 runs the directed per-field study of the six SDC-prone fields.
+func Table4(o Options) (string, []metainject.FieldEffect, error) {
+	o = o.normalize()
+	effects, err := metainject.FieldStudy(o.nyxSim(), nyx.DefaultHalo())
+	if err != nil {
+		return "", nil, err
+	}
+	return metainject.RenderTable4(effects), effects, nil
+}
+
+// Fig7CellName enumerates the Figure 7 campaign cells.
+var Fig7Cells = []string{"nyx", "qmcpack", "MT1", "MT2", "MT3", "MT4"}
+
+// NewWorkload constructs the campaign workload for a Figure 7 cell name.
+func NewWorkload(cell string, o Options) (core.Workload, error) {
+	o = o.normalize()
+	switch cell {
+	case "nyx":
+		app, err := nyx.NewApp(o.nyxSim(), nyx.DefaultHalo())
+		if err != nil {
+			return core.Workload{}, err
+		}
+		app.UseAvgDetector = o.UseAvgDetector
+		return app.Workload(), nil
+	case "qmcpack", "qmc":
+		app, err := qmcpack.NewApp(qmcpack.DefaultQMC())
+		if err != nil {
+			return core.Workload{}, err
+		}
+		return app.Workload(), nil
+	case "MT1", "MT2", "MT3", "MT4", "mt1", "mt2", "mt3", "mt4":
+		stage := montage.Stage(cell[2] - '0')
+		app, err := montage.NewApp(montage.DefaultConfig(), stage)
+		if err != nil {
+			return core.Workload{}, err
+		}
+		return app.Workload(), nil
+	default:
+		return core.Workload{}, fmt.Errorf("experiments: unknown cell %q (want one of %v)", cell, Fig7Cells)
+	}
+}
+
+// Fig7Cell runs one campaign cell (application × fault model).
+func Fig7Cell(cell string, model core.FaultModel, o Options) (core.CampaignResult, error) {
+	o = o.normalize()
+	w, err := NewWorkload(cell, o)
+	if err != nil {
+		return core.CampaignResult{}, err
+	}
+	return core.Campaign(core.CampaignConfig{
+		Fault:   core.Config{Model: model},
+		Runs:    o.Runs,
+		Seed:    o.Seed,
+		Workers: o.Workers,
+	}, w)
+}
+
+// Fig7 runs the full characterization: every cell × every fault model.
+func Fig7(o Options) (string, []classify.Cell, error) {
+	o = o.normalize()
+	var cells []classify.Cell
+	for _, cellName := range Fig7Cells {
+		for _, model := range core.Models() {
+			res, err := Fig7Cell(cellName, model, o)
+			if err != nil {
+				return "", nil, fmt.Errorf("cell %s/%s: %w", cellName, model.Short(), err)
+			}
+			cells = append(cells, res.Cell())
+		}
+	}
+	title := fmt.Sprintf("Figure 7: characterization of I/O faults (%d runs per cell)", o.Runs)
+	return classify.Table(title, cells), cells, nil
+}
+
+// Fig8 compares the halo-mass distribution of the golden Nyx run with a
+// dropped-write SDC run.
+func Fig8(o Options) (string, error) {
+	o = o.normalize()
+	app, err := nyx.NewApp(o.nyxSim(), nyx.DefaultHalo())
+	if err != nil {
+		return "", err
+	}
+	golden := app.GoldenCatalog()
+
+	// Find a dropped-write run that produced SDC and recover its catalog.
+	sig := core.Config{Model: core.DroppedWrite}.Signature()
+	count, err := core.Profile(app.Workload(), sig)
+	if err != nil {
+		return "", err
+	}
+	var faulty nyx.Catalog
+	found := false
+	for i := 0; i < int(count); i++ {
+		fs := vfs.NewMemFS()
+		inj := core.NewInjector(sig, int64(i), stats.NewRNG(o.Seed))
+		if err := app.Run(inj.Wrap(fs)); err != nil {
+			continue
+		}
+		cat, err := nyx.RunHaloFinder(fs, nyx.OutputPath, nyx.DefaultHalo())
+		if err != nil || len(cat.Halos) == 0 {
+			continue
+		}
+		if cat.Render() == golden.Render() {
+			continue
+		}
+		if !found {
+			faulty = cat
+			found = true
+			continue
+		}
+		// Prefer an SDC whose halo masses visibly moved (the dropped
+		// block struck halo cells), matching the Figure 8 panels where
+		// the large-mass tail of the distribution shifts.
+		if massCatalogDiffers(golden, cat) && !massCatalogDiffers(golden, faulty) {
+			faulty = cat
+		}
+	}
+	if !found {
+		return "", fmt.Errorf("experiments: no dropped-write SDC found for Figure 8")
+	}
+
+	_, hiMass := massRange(golden)
+	gh := golden.MassHistogram(0, hiMass*1.05, 12)
+	fh := faulty.MassHistogram(0, hiMass*1.05, 12)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8: halo-finder mass distribution, original vs dropped-write SDC\n")
+	fmt.Fprintf(&b, "original (%d halos, mean density %.6f):\n%s", len(golden.Halos), golden.Mean, gh.Render(40))
+	fmt.Fprintf(&b, "faulty   (%d halos, mean density %.6f):\n%s", len(faulty.Halos), faulty.Mean, fh.Render(40))
+	fmt.Fprintf(&b, "L1 distance between distributions: %d\n", gh.L1Distance(fh))
+	fmt.Fprintf(&b, "average-value detector flags the faulty run: %v (mean deviates by %.4f%%)\n",
+		nyx.DetectByAverage(faulty.Mean), 100*abs(faulty.Mean-1))
+	return b.String(), nil
+}
+
+// massCatalogDiffers reports whether any mass-rank-matched halo pair
+// differs by more than 0.1% (or the halo counts differ).
+func massCatalogDiffers(a, b nyx.Catalog) bool {
+	if len(a.Halos) != len(b.Halos) {
+		return true
+	}
+	for i := range a.Halos {
+		if abs(a.Halos[i].Mass-b.Halos[i].Mass) > 1e-3*a.Halos[i].Mass {
+			return true
+		}
+	}
+	return false
+}
+
+func massRange(c nyx.Catalog) (lo, hi float64) {
+	if len(c.Halos) == 0 {
+		return 0, 1
+	}
+	lo, hi = c.Halos[0].Mass, c.Halos[0].Mass
+	for _, h := range c.Halos {
+		if h.Mass < lo {
+			lo = h.Mass
+		}
+		if h.Mass > hi {
+			hi = h.Mass
+		}
+	}
+	return lo, hi
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Fig5 produces the density-slice visualizations for the original field,
+// the Exponent Bias fault (scaled data), and the ARD fault (shifted data).
+// It returns a textual summary and the three PGM images.
+func Fig5(o Options) (string, map[string][]byte, error) {
+	o = o.normalize()
+	sim := o.nyxSim()
+	field := sim.Generate()
+	img, err := nyx.BuildImage(field, sim.N)
+	if err != nil {
+		return "", nil, err
+	}
+	pristine := img.Bytes()
+	images := map[string][]byte{}
+	var b strings.Builder
+	b.WriteString("Figure 5: visualization of typical metadata SDC cases\n")
+
+	slice := func(name string, raw []byte) error {
+		fs := vfs.NewMemFS()
+		fs.MkdirAll("/plt00000")
+		if err := vfs.WriteFile(fs, nyx.OutputPath, raw); err != nil {
+			return err
+		}
+		vals, n, err := nyx.ReadDataset(fs, nyx.OutputPath)
+		if err != nil {
+			return err
+		}
+		images[name] = nyx.SlicePGM(vals, n, n/2)
+		fmt.Fprintf(&b, "  %-14s mean=%.6g\n", name, stats.Mean(vals))
+		return nil
+	}
+	if err := slice("original", pristine); err != nil {
+		return "", nil, err
+	}
+	biasFault := append([]byte(nil), pristine...)
+	biasFault[img.Fields.Find("exponentBias")[0].Offset] ^= 0x04 // bias-4: scale 16
+	if err := slice("exponent-bias", biasFault); err != nil {
+		return "", nil, err
+	}
+	ardFault := append([]byte(nil), pristine...)
+	ardFault[img.Fields.Find("addressOfRawData")[0].Offset] ^= 0x40 // shift 64 B
+	if err := slice("ard-shift", ardFault); err != nil {
+		return "", nil, err
+	}
+	b.WriteString("  (exponent-bias scales the input; ard-shift translates it)\n")
+	return b.String(), images, nil
+}
+
+// Fig6 reports the halo-candidate loss under a Mantissa Size fault.
+func Fig6(o Options) (string, error) {
+	o = o.normalize()
+	sim := o.nyxSim()
+	field := sim.Generate()
+	img, err := nyx.BuildImage(field, sim.N)
+	if err != nil {
+		return "", err
+	}
+	golden := nyx.FindHalos(field, sim.N, nyx.DefaultHalo())
+	if len(golden.Halos) == 0 {
+		return "", fmt.Errorf("experiments: no golden halos")
+	}
+	center := golden.Halos[0].Center
+
+	raw := img.Bytes()
+	raw[img.Fields.Find("float.mantissaSize")[0].Offset] ^= 0x08
+	fs := vfs.NewMemFS()
+	fs.MkdirAll("/plt00000")
+	if err := vfs.WriteFile(fs, nyx.OutputPath, raw); err != nil {
+		return "", err
+	}
+	vals, n, err := nyx.ReadDataset(fs, nyx.OutputPath)
+	if err != nil {
+		return "", err
+	}
+	origCount := nyx.CandidateCensus(field, sim.N, nyx.DefaultHalo(), center, 4)
+	faultCount := nyx.CandidateCensus(vals, n, nyx.DefaultHalo(), center, 4)
+	faultyCat := nyx.FindHalos(vals, n, nyx.DefaultHalo())
+	var b strings.Builder
+	b.WriteString("Figure 6: halo-cell candidates around the largest halo, original vs faulty Mantissa Size\n")
+	fmt.Fprintf(&b, "  original: %d candidates within radius 4; %d halos total\n", origCount, len(golden.Halos))
+	fmt.Fprintf(&b, "  faulty:   %d candidates within radius 4; %d halos total (avg=%.4g)\n",
+		faultCount, len(faultyCat.Halos), faultyCat.Mean)
+	return b.String(), nil
+}
+
+// Fig9 reproduces the dropped-write Montage mosaic: it returns a summary,
+// the golden and faulty PGM images, and the min statistics.
+func Fig9(o Options) (string, map[string][]byte, error) {
+	o = o.normalize()
+	app, err := montage.NewApp(montage.DefaultConfig(), montage.StageAdd)
+	if err != nil {
+		return "", nil, err
+	}
+	images := map[string][]byte{}
+
+	// Golden run.
+	fs := vfs.NewMemFS()
+	if err := app.Setup(fs); err != nil {
+		return "", nil, err
+	}
+	if err := app.Run(fs); err != nil {
+		return "", nil, err
+	}
+	goldenImg, err := vfs.ReadFile(fs, montage.ImagePath)
+	if err != nil {
+		return "", nil, err
+	}
+	images["original"] = goldenImg
+	goldenMin, _ := montage.ReadMin(fs)
+
+	// Dropped-write run: scan injection targets for the Figure 9
+	// black-stripe phenotype (detected: min escapes the window).
+	sig := core.Config{Model: core.DroppedWrite}.Signature()
+	w := app.Workload()
+	count, err := core.Profile(w, sig)
+	if err != nil {
+		return "", nil, err
+	}
+	for i := 0; i < int(count); i++ {
+		fs := vfs.NewMemFS()
+		if err := app.Setup(fs); err != nil {
+			return "", nil, err
+		}
+		inj := core.NewInjector(sig, int64(i), stats.NewRNG(o.Seed))
+		if err := app.Run(inj.Wrap(fs)); err != nil {
+			continue
+		}
+		img, err := vfs.ReadFile(fs, montage.ImagePath)
+		if err != nil {
+			continue
+		}
+		minV, err := montage.ReadMin(fs)
+		if err != nil {
+			continue
+		}
+		if abs(minV-goldenMin) > montage.MinTolerance {
+			images["faulty"] = img
+			var b strings.Builder
+			b.WriteString("Figure 9: a typical faulty mosaic due to a dropped write\n")
+			fmt.Fprintf(&b, "  golden min = %.5f\n", goldenMin)
+			fmt.Fprintf(&b, "  faulty min = %.5f (outside ±%.2g: detected)\n", minV, montage.MinTolerance)
+			fmt.Fprintf(&b, "  dropped write target: instance %d of %d stage-4 writes\n", i, count)
+			return b.String(), images, nil
+		}
+	}
+	return "", nil, fmt.Errorf("experiments: no detected dropped-write mosaic found for Figure 9")
+}

@@ -1,0 +1,183 @@
+// Package fft provides the radix-2 fast Fourier transform used by the Nyx
+// power-spectrum post-analysis. The paper lists the power spectrum
+// ("statistically describing the amount of the Universe at each physical
+// scale") alongside the halo finder as Nyx's post-analysis programs; this
+// package supplies the transform machinery for it from scratch.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Forward computes the in-place radix-2 decimation-in-time FFT of x.
+// len(x) must be a power of two.
+func Forward(x []complex128) error {
+	n := len(x)
+	if !IsPow2(n) {
+		return fmt.Errorf("fft: length %d is not a power of two", n)
+	}
+	bitReverse(x)
+	for span := 2; span <= n; span <<= 1 {
+		half := span >> 1
+		// Principal root of unity for this stage.
+		w := cmplx.Exp(complex(0, -2*math.Pi/float64(span)))
+		for start := 0; start < n; start += span {
+			tw := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * tw
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				tw *= w
+			}
+		}
+	}
+	return nil
+}
+
+// Inverse computes the in-place inverse FFT (normalized by 1/N).
+func Inverse(x []complex128) error {
+	for i := range x {
+		x[i] = cmplx.Conj(x[i])
+	}
+	if err := Forward(x); err != nil {
+		return err
+	}
+	scale := complex(1/float64(len(x)), 0)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i]) * scale
+	}
+	return nil
+}
+
+func bitReverse(x []complex128) {
+	n := len(x)
+	for i, j := 0, 0; i < n; i++ {
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+		mask := n >> 1
+		for j&mask != 0 {
+			j &^= mask
+			mask >>= 1
+		}
+		j |= mask
+	}
+}
+
+// Forward3D computes the 3-D FFT of an n×n×n cube stored row-major
+// (index = (z·n + y)·n + x), transforming each axis in turn.
+func Forward3D(data []complex128, n int) error {
+	if len(data) != n*n*n {
+		return fmt.Errorf("fft: data length %d does not match n³ = %d", len(data), n*n*n)
+	}
+	if !IsPow2(n) {
+		return fmt.Errorf("fft: edge %d is not a power of two", n)
+	}
+	line := make([]complex128, n)
+	// X lines.
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			base := (z*n + y) * n
+			copy(line, data[base:base+n])
+			if err := Forward(line); err != nil {
+				return err
+			}
+			copy(data[base:base+n], line)
+		}
+	}
+	// Y lines.
+	for z := 0; z < n; z++ {
+		for x := 0; x < n; x++ {
+			for y := 0; y < n; y++ {
+				line[y] = data[(z*n+y)*n+x]
+			}
+			if err := Forward(line); err != nil {
+				return err
+			}
+			for y := 0; y < n; y++ {
+				data[(z*n+y)*n+x] = line[y]
+			}
+		}
+	}
+	// Z lines.
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			for z := 0; z < n; z++ {
+				line[z] = data[(z*n+y)*n+x]
+			}
+			if err := Forward(line); err != nil {
+				return err
+			}
+			for z := 0; z < n; z++ {
+				data[(z*n+y)*n+x] = line[z]
+			}
+		}
+	}
+	return nil
+}
+
+// PowerSpectrum3D computes the radially binned power spectrum P(k) of a
+// real n×n×n field: the density contrast δ = field/mean − 1 is transformed
+// and |δ̂(k)|² is averaged over spherical shells of integer wavenumber.
+// It returns the per-shell mean power for k = 1 .. n/2.
+func PowerSpectrum3D(field []float64, n int) ([]float64, error) {
+	if len(field) != n*n*n {
+		return nil, fmt.Errorf("fft: field length %d does not match n³", len(field))
+	}
+	var mean float64
+	for _, v := range field {
+		mean += v
+	}
+	mean /= float64(len(field))
+	if mean == 0 || math.IsNaN(mean) || math.IsInf(mean, 0) {
+		return nil, fmt.Errorf("fft: degenerate field mean %v", mean)
+	}
+	data := make([]complex128, len(field))
+	for i, v := range field {
+		data[i] = complex(v/mean-1, 0)
+	}
+	if err := Forward3D(data, n); err != nil {
+		return nil, err
+	}
+	bins := n / 2
+	power := make([]float64, bins+1)
+	counts := make([]int, bins+1)
+	for z := 0; z < n; z++ {
+		kz := foldFreq(z, n)
+		for y := 0; y < n; y++ {
+			ky := foldFreq(y, n)
+			for x := 0; x < n; x++ {
+				kx := foldFreq(x, n)
+				k := int(math.Round(math.Sqrt(float64(kx*kx + ky*ky + kz*kz))))
+				if k < 1 || k > bins {
+					continue
+				}
+				c := data[(z*n+y)*n+x]
+				power[k] += real(c)*real(c) + imag(c)*imag(c)
+				counts[k]++
+			}
+		}
+	}
+	out := make([]float64, bins)
+	norm := float64(len(field)) // FFT normalization
+	for k := 1; k <= bins; k++ {
+		if counts[k] > 0 {
+			out[k-1] = power[k] / float64(counts[k]) / norm
+		}
+	}
+	return out, nil
+}
+
+// foldFreq maps an FFT bin index to its signed frequency.
+func foldFreq(i, n int) int {
+	if i <= n/2 {
+		return i
+	}
+	return i - n
+}

@@ -1,0 +1,216 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"ffis/internal/stats"
+)
+
+func TestIsPow2(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 1024} {
+		if !IsPow2(n) {
+			t.Errorf("%d should be a power of two", n)
+		}
+	}
+	for _, n := range []int{0, -4, 3, 6, 1000} {
+		if IsPow2(n) {
+			t.Errorf("%d should not be a power of two", n)
+		}
+	}
+}
+
+func TestForwardRejectsNonPow2(t *testing.T) {
+	if err := Forward(make([]complex128, 3)); err == nil {
+		t.Fatal("length 3 accepted")
+	}
+}
+
+func TestForwardKnownValues(t *testing.T) {
+	// FFT([1,0,0,0]) = [1,1,1,1]
+	x := []complex128{1, 0, 0, 0}
+	if err := Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 1", i, v)
+		}
+	}
+	// FFT of a pure tone lands in a single bin.
+	n := 16
+	tone := make([]complex128, n)
+	for i := range tone {
+		angle := 2 * math.Pi * 3 * float64(i) / float64(n)
+		tone[i] = cmplx.Exp(complex(0, angle))
+	}
+	if err := Forward(tone); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range tone {
+		mag := cmplx.Abs(v)
+		if i == 3 {
+			if math.Abs(mag-float64(n)) > 1e-9 {
+				t.Fatalf("tone bin magnitude = %v, want %d", mag, n)
+			}
+		} else if mag > 1e-9 {
+			t.Fatalf("leakage into bin %d: %v", i, mag)
+		}
+	}
+}
+
+func TestForwardInverseRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		n := 1 << (uint(r.Intn(6)) + 1) // 2..64
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+			orig[i] = x[i]
+		}
+		if Forward(x) != nil || Inverse(x) != nil {
+			return false
+		}
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseval(t *testing.T) {
+	// Σ|x|² = (1/N) Σ|X|²
+	r := stats.NewRNG(9)
+	n := 64
+	x := make([]complex128, n)
+	var timeEnergy float64
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), 0)
+		timeEnergy += real(x[i]) * real(x[i])
+	}
+	if err := Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	var freqEnergy float64
+	for _, v := range x {
+		freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+	}
+	freqEnergy /= float64(n)
+	if math.Abs(timeEnergy-freqEnergy)/timeEnergy > 1e-9 {
+		t.Fatalf("Parseval violated: %v vs %v", timeEnergy, freqEnergy)
+	}
+}
+
+func TestForward3DPlaneWave(t *testing.T) {
+	// A plane wave exp(2πi·kx·x/n) concentrates all power in one 3-D bin.
+	n := 8
+	data := make([]complex128, n*n*n)
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				angle := 2 * math.Pi * 2 * float64(x) / float64(n)
+				data[(z*n+y)*n+x] = cmplx.Exp(complex(0, angle))
+			}
+		}
+	}
+	if err := Forward3D(data, n); err != nil {
+		t.Fatal(err)
+	}
+	peak := (0*n+0)*n + 2 // kz=0, ky=0, kx=2
+	if cmplx.Abs(data[peak]) < float64(n*n*n)-1e-6 {
+		t.Fatalf("plane-wave bin magnitude %v", cmplx.Abs(data[peak]))
+	}
+	var other float64
+	for i, v := range data {
+		if i != peak {
+			other += cmplx.Abs(v)
+		}
+	}
+	if other > 1e-6 {
+		t.Fatalf("leakage %v", other)
+	}
+}
+
+func TestForward3DErrors(t *testing.T) {
+	if err := Forward3D(make([]complex128, 9), 2); err == nil {
+		t.Fatal("bad length accepted")
+	}
+	if err := Forward3D(make([]complex128, 27), 3); err == nil {
+		t.Fatal("non-pow2 edge accepted")
+	}
+}
+
+func TestPowerSpectrumFlatFieldIsZero(t *testing.T) {
+	n := 8
+	field := make([]float64, n*n*n)
+	for i := range field {
+		field[i] = 2.5
+	}
+	p, err := PowerSpectrum3D(field, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range p {
+		if v > 1e-18 {
+			t.Fatalf("flat field has power %v at k=%d", v, k+1)
+		}
+	}
+}
+
+func TestPowerSpectrumSingleMode(t *testing.T) {
+	// δ = ε·cos(2π·3x/n): all power at k=3.
+	n := 16
+	field := make([]float64, n*n*n)
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				field[(z*n+y)*n+x] = 1 + 0.01*math.Cos(2*math.Pi*3*float64(x)/float64(n))
+			}
+		}
+	}
+	p, err := PowerSpectrum3D(field, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kPeak := 0
+	for k := range p {
+		if p[k] > p[kPeak] {
+			kPeak = k
+		}
+	}
+	if kPeak != 2 { // bins are k=1.. so index 2 is k=3
+		t.Fatalf("power peak at k=%d, want k=3 (index 2): %v", kPeak+1, p)
+	}
+}
+
+func TestPowerSpectrumDegenerateField(t *testing.T) {
+	n := 4
+	field := make([]float64, n*n*n) // all-zero mean
+	if _, err := PowerSpectrum3D(field, n); err == nil {
+		t.Fatal("zero-mean field accepted")
+	}
+	field[0] = math.NaN()
+	if _, err := PowerSpectrum3D(field, n); err == nil {
+		t.Fatal("NaN field accepted")
+	}
+	if _, err := PowerSpectrum3D(make([]float64, 10), 4); err == nil {
+		t.Fatal("bad length accepted")
+	}
+}
+
+func TestFoldFreq(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 4: 4, 5: -3, 7: -1}
+	for i, want := range cases {
+		if got := foldFreq(i, 8); got != want {
+			t.Errorf("foldFreq(%d,8) = %d, want %d", i, got, want)
+		}
+	}
+}

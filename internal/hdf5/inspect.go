@@ -1,0 +1,46 @@
+package hdf5
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Inspect renders a human-readable dump of a parsed file: the cmd/h5inspect
+// tool prints it, and examples use it to show what a corruption changed.
+func Inspect(f *File) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "HDF5 file: EOF address %d, %d dataset(s)\n", f.EOFAddress, len(f.Datasets))
+	for _, d := range f.Datasets {
+		fmt.Fprintf(&b, "  dataset %q dims=%v\n", d.Name, d.Dims)
+		s := d.Spec
+		fmt.Fprintf(&b, "    datatype: size=%dB bitOffset=%d bitPrecision=%d\n",
+			s.Size, s.BitOffset, s.BitPrecision)
+		fmt.Fprintf(&b, "    float: expLoc=%d expSize=%d mantLoc=%d mantSize=%d bias=%#x sign=%d norm=%d\n",
+			s.ExpLocation, s.ExpSize, s.MantLocation, s.MantSize, s.ExpBias, s.SignLocation, s.Norm)
+		fmt.Fprintf(&b, "    layout: addressOfRawData=%d size=%d\n", d.DataOffset, d.LayoutSize)
+		if !s.ConstraintsOK() {
+			fmt.Fprintf(&b, "    WARNING: floating-point geometry violates IEEE-style constraints\n")
+		}
+	}
+	return b.String()
+}
+
+// DumpFields renders the field attribution of a built image, optionally
+// filtering to a class. Offsets are absolute file offsets (the metadata
+// block starts at 0).
+func DumpFields(img *FileImage, only *FieldClass) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "metadata block: %d bytes, %d field ranges\n", len(img.Meta), len(img.Fields.Ranges()))
+	byClass := img.Fields.ByClass()
+	for _, c := range []FieldClass{ClassSlack, ClassResilient, ClassValue, ClassSDCProne, ClassSignature, ClassVersion} {
+		fmt.Fprintf(&b, "  %-10s %5d bytes (%.1f%%)\n", c, byClass[c],
+			100*float64(byClass[c])/float64(len(img.Meta)))
+	}
+	for _, r := range img.Fields.Ranges() {
+		if only != nil && r.Class != *only {
+			continue
+		}
+		fmt.Fprintf(&b, "%s\n", r)
+	}
+	return b.String()
+}

@@ -1,0 +1,169 @@
+// Package metainject implements the paper's HDF5 metadata fault-injection
+// study (Section IV-D): byte-by-byte corruption of the metadata block that
+// the HDF5 library writes in its penultimate write call, outcome
+// classification through the Nyx halo-finder post-analysis, per-field
+// attribution (Table III), the directed per-field study of the six
+// SDC-prone fields (Table IV), and the detection + auto-correction
+// methodology of Section V-A.
+package metainject
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ffis/internal/apps/nyx"
+	"ffis/internal/classify"
+	"ffis/internal/hdf5"
+	"ffis/internal/stats"
+	"ffis/internal/vfs"
+)
+
+// CampaignConfig controls the byte-by-byte metadata campaign.
+type CampaignConfig struct {
+	// Sim/Halo configure the Nyx dataset and its post-analysis.
+	Sim  nyx.SimConfig
+	Halo nyx.HaloConfig
+	// Stride > 1 samples every Stride-th byte (for cheap test runs);
+	// 1 reproduces the exhaustive per-byte study.
+	Stride int
+	// AllBits runs all 8 single-bit flips per byte instead of one
+	// deterministic bit per byte.
+	AllBits bool
+	// Seed selects the per-byte bit when AllBits is false.
+	Seed uint64
+}
+
+// DefaultCampaign returns the Table III configuration.
+func DefaultCampaign() CampaignConfig {
+	return CampaignConfig{
+		Sim:    nyx.DefaultSim(),
+		Halo:   nyx.DefaultHalo(),
+		Stride: 1,
+		Seed:   2021,
+	}
+}
+
+// Case is one metadata fault-injection case.
+type Case struct {
+	Offset  int
+	Bit     int
+	Field   hdf5.FieldRange
+	Outcome classify.Outcome
+}
+
+// Result aggregates a metadata campaign.
+type Result struct {
+	MetaSize int
+	Tally    classify.Tally
+	Cases    []Case
+	// PerField tallies outcomes per format field name.
+	PerField map[string]*classify.Tally
+}
+
+// FieldsWithOutcome lists the field names that produced the given outcome,
+// sorted, as in the "Example Metadata Fields" column of Table III.
+func (r *Result) FieldsWithOutcome(o classify.Outcome) []string {
+	var out []string
+	for name, t := range r.PerField {
+		if t.Count(o) > 0 {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the metadata campaign: it builds the Nyx HDF5 image once,
+// then for every targeted metadata byte writes a corrupted copy of the file
+// and classifies the halo-finder outcome against the golden catalog.
+func Run(cfg CampaignConfig) (*Result, error) {
+	if cfg.Stride <= 0 {
+		cfg.Stride = 1
+	}
+	field := cfg.Sim.Generate()
+	img, err := nyx.BuildImage(field, cfg.Sim.N)
+	if err != nil {
+		return nil, err
+	}
+	golden := nyx.FindHalos(field, cfg.Sim.N, cfg.Halo)
+	if len(golden.Halos) == 0 {
+		return nil, fmt.Errorf("metainject: golden run found no halos")
+	}
+	goldenOut := golden.Render()
+
+	res := &Result{MetaSize: len(img.Meta), PerField: map[string]*classify.Tally{}}
+	pristine := img.Bytes()
+	rng := stats.NewRNG(cfg.Seed)
+
+	for off := 0; off < len(img.Meta); off += cfg.Stride {
+		bits := []int{rng.Intn(8)}
+		if cfg.AllBits {
+			bits = []int{0, 1, 2, 3, 4, 5, 6, 7}
+		}
+		fr, _ := img.Fields.At(off)
+		for _, bit := range bits {
+			raw := append([]byte(nil), pristine...)
+			raw[off] ^= 1 << uint(bit)
+			outcome := classifyImage(raw, goldenOut, cfg.Sim.N, cfg.Halo)
+			res.Tally.Add(outcome)
+			res.Cases = append(res.Cases, Case{Offset: off, Bit: bit, Field: fr, Outcome: outcome})
+			t := res.PerField[fr.Name]
+			if t == nil {
+				t = &classify.Tally{}
+				res.PerField[fr.Name] = t
+			}
+			t.Add(outcome)
+		}
+	}
+	return res, nil
+}
+
+// classifyImage applies the paper's Nyx outcome rules to a corrupted file
+// image.
+func classifyImage(raw []byte, goldenOut string, n int, halo nyx.HaloConfig) classify.Outcome {
+	fs := vfs.NewMemFS()
+	fs.MkdirAll("/plt00000")
+	if err := vfs.WriteFile(fs, nyx.OutputPath, raw); err != nil {
+		return classify.Crash
+	}
+	cat, err := nyx.RunHaloFinder(fs, nyx.OutputPath, halo)
+	if err != nil {
+		return classify.Crash
+	}
+	out := cat.Render()
+	if out == goldenOut {
+		return classify.Benign
+	}
+	if len(cat.Halos) == 0 {
+		return classify.Detected
+	}
+	return classify.SDC
+}
+
+// RenderTable3 renders the campaign result in the layout of Table III.
+func RenderTable3(r *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table III: output classification of faulty metadata (%d cases over %d metadata bytes)\n",
+		r.Tally.Total(), r.MetaSize)
+	fmt.Fprintf(&b, "%-10s %10s %8s   %s\n", "fault type", "cases", "rate", "example metadata fields and bytes")
+	rows := []struct {
+		name string
+		o    classify.Outcome
+	}{
+		{"SDC", classify.SDC},
+		{"Benign", classify.Benign},
+		{"Detected", classify.Detected},
+		{"Crash", classify.Crash},
+	}
+	for _, row := range rows {
+		fields := r.FieldsWithOutcome(row.o)
+		const maxShown = 6
+		if len(fields) > maxShown {
+			fields = append(fields[:maxShown], "...")
+		}
+		fmt.Fprintf(&b, "%-10s %10d %7.1f%%   %s\n", row.name,
+			r.Tally.Count(row.o), 100*r.Tally.Rate(row.o).P(), strings.Join(fields, ", "))
+	}
+	return b.String()
+}

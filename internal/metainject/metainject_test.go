@@ -1,0 +1,307 @@
+package metainject
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ffis/internal/apps/nyx"
+	"ffis/internal/classify"
+	"ffis/internal/hdf5"
+)
+
+func testSim() nyx.SimConfig {
+	c := nyx.DefaultSim()
+	c.N = 24
+	c.NumHalos = 4
+	return c
+}
+
+func testCampaign() CampaignConfig {
+	return CampaignConfig{
+		Sim:    testSim(),
+		Halo:   nyx.DefaultHalo(),
+		Stride: 7, // sample the metadata cheaply in tests
+		Seed:   11,
+	}
+}
+
+func TestCampaignShapeMatchesTable3(t *testing.T) {
+	res, err := Run(testCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tally.Total() == 0 {
+		t.Fatal("no cases ran")
+	}
+	benign := res.Tally.Rate(classify.Benign).P()
+	crash := res.Tally.Rate(classify.Crash).P()
+	sdc := res.Tally.Rate(classify.SDC).P()
+	// Table III shape: benign dominates (85.7% in the paper), crash is a
+	// modest minority (14.1%), SDC is rare (0.2%).
+	if benign < 0.6 {
+		t.Errorf("benign rate %.2f, want dominant", benign)
+	}
+	if crash > 0.35 {
+		t.Errorf("crash rate %.2f, want minority", crash)
+	}
+	if sdc > 0.05 {
+		t.Errorf("SDC rate %.2f, want rare", sdc)
+	}
+	t.Logf("metadata campaign: %s", res.Tally.String())
+}
+
+func TestCampaignCasesAttributed(t *testing.T) {
+	res, err := Run(testCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Cases {
+		if c.Field.Name == "" {
+			t.Fatalf("case at offset %d has no field attribution", c.Offset)
+		}
+	}
+	if len(res.PerField) < 10 {
+		t.Fatalf("only %d fields touched", len(res.PerField))
+	}
+}
+
+func TestSignatureBytesAlwaysCrash(t *testing.T) {
+	cfg := testCampaign()
+	cfg.Stride = 1
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Cases {
+		if c.Field.Class == hdf5.ClassSignature && c.Outcome != classify.Crash {
+			t.Errorf("signature byte %d (%s) gave %s", c.Offset, c.Field.Name, c.Outcome)
+		}
+		if c.Field.Class == hdf5.ClassSlack && c.Outcome != classify.Benign {
+			t.Errorf("slack byte %d (%s) gave %s", c.Offset, c.Field.Name, c.Outcome)
+		}
+	}
+}
+
+func TestRenderTable3(t *testing.T) {
+	res, err := Run(testCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderTable3(res)
+	for _, want := range []string{"Table III", "SDC", "Benign", "Crash"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFieldStudyTable4(t *testing.T) {
+	effects, err := FieldStudy(testSim(), nyx.DefaultHalo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(effects) != 6 {
+		t.Fatalf("got %d effects, want 6", len(effects))
+	}
+	byField := map[string]FieldEffect{}
+	for _, e := range effects {
+		byField[e.Case.Field] = e
+	}
+
+	// Exponent Bias: mass of all halos scaled, locations unchanged,
+	// average a power of two (Table IV column 5).
+	eb := byField["Exponent Bias"]
+	if eb.Crashed {
+		t.Fatal("exponent bias fault crashed")
+	}
+	if !eb.MassScaled {
+		t.Errorf("exponent bias: masses not uniformly scaled: %+v", eb)
+	}
+	if eb.LocChangedFrac != 0 {
+		t.Errorf("exponent bias: locations changed: %+v", eb)
+	}
+	if !ScaleIsPowerOfTwo(eb.AverageValue) {
+		t.Errorf("exponent bias: average %v not a power of two", eb.AverageValue)
+	}
+
+	// ARD: average unchanged, locations shifted.
+	ard := byField["Address of Raw Data (ARD)"]
+	if ard.Crashed {
+		t.Skip("ARD shift fell outside the file in this geometry")
+	}
+	if math.Abs(ard.AverageValue-1) > 0.01 {
+		t.Errorf("ARD: average %v, want ~1 (invisible to the detector)", ard.AverageValue)
+	}
+	if ard.LocChangedFrac == 0 {
+		t.Errorf("ARD: locations unchanged: %+v", ard)
+	}
+
+	// Mantissa Normalization: average collapses below 1.
+	mn := byField["Mantissa Normalization (bit 5)"]
+	if mn.Crashed {
+		t.Fatal("normalization fault crashed")
+	}
+	if mn.AverageValue >= 0.9 || mn.AverageValue <= 0.2 {
+		t.Errorf("normalization: average %v, want ~0.5", mn.AverageValue)
+	}
+}
+
+func TestRenderTable4(t *testing.T) {
+	effects, err := FieldStudy(testSim(), nyx.DefaultHalo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderTable4(effects)
+	for _, want := range []string{"Table IV", "Exponent Bias", "ARD"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func buildRaw(t *testing.T) ([]byte, *hdf5.FileImage) {
+	t.Helper()
+	sim := testSim()
+	field := sim.Generate()
+	img, err := nyx.BuildImage(field, sim.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img.Bytes(), img
+}
+
+func corruptField(t *testing.T, raw []byte, img *hdf5.FileImage, locator string, byteOff int, bit int) []byte {
+	t.Helper()
+	rs := img.Fields.Find(locator)
+	if len(rs) != 1 {
+		t.Fatalf("locator %q matched %d", locator, len(rs))
+	}
+	out := append([]byte(nil), raw...)
+	out[rs[0].Offset+byteOff] ^= 1 << uint(bit)
+	return out
+}
+
+func TestDiagnoseHealthy(t *testing.T) {
+	raw, _ := buildRaw(t)
+	diag, err := Diagnose(raw, nyx.DatasetName)
+	if err != nil || diag != DiagHealthy {
+		t.Fatalf("diag = %s err = %v", diag, err)
+	}
+}
+
+func TestDiagnoseAndCorrectExponentBias(t *testing.T) {
+	raw, img := buildRaw(t)
+	bad := corruptField(t, raw, img, "exponentBias", 0, 2)
+	diag, err := Diagnose(bad, nyx.DatasetName)
+	if err != nil || diag != DiagExponentBias {
+		t.Fatalf("diag = %s err = %v", diag, err)
+	}
+	fixed, diag2, err := Correct(bad, nyx.DatasetName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diag2 != DiagExponentBias {
+		t.Fatalf("correct diag = %s", diag2)
+	}
+	if after, _ := Diagnose(fixed, nyx.DatasetName); after != DiagHealthy {
+		t.Fatalf("post-repair diagnosis %s", after)
+	}
+}
+
+func TestDiagnoseAndCorrectGeometry(t *testing.T) {
+	raw, img := buildRaw(t)
+	for _, locator := range []string{"float.mantissaSize", "float.mantissaLocation", "exponentLocation"} {
+		bad := corruptField(t, raw, img, locator, 0, 2)
+		diag, err := Diagnose(bad, nyx.DatasetName)
+		if err != nil {
+			t.Fatalf("%s: %v", locator, err)
+		}
+		if diag != DiagGeometry {
+			t.Errorf("%s: diag = %s, want geometry", locator, diag)
+			continue
+		}
+		fixed, _, err := Correct(bad, nyx.DatasetName)
+		if err != nil {
+			t.Errorf("%s: correct: %v", locator, err)
+			continue
+		}
+		if after, _ := Diagnose(fixed, nyx.DatasetName); after != DiagHealthy {
+			t.Errorf("%s: post-repair %s", locator, after)
+		}
+	}
+}
+
+func TestDiagnoseAndCorrectNormalization(t *testing.T) {
+	raw, img := buildRaw(t)
+	bad := corruptField(t, raw, img, "mantissaNormalization", 0, 5)
+	diag, err := Diagnose(bad, nyx.DatasetName)
+	if err != nil || diag != DiagNormalization {
+		t.Fatalf("diag = %s err = %v", diag, err)
+	}
+	fixed, _, err := Correct(bad, nyx.DatasetName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after, _ := Diagnose(fixed, nyx.DatasetName); after != DiagHealthy {
+		t.Fatalf("post-repair diagnosis %s", after)
+	}
+}
+
+func TestDiagnoseAndCorrectARD(t *testing.T) {
+	raw, img := buildRaw(t)
+	bad := corruptField(t, raw, img, "addressOfRawData", 0, 6) // ±64 bytes
+	diag, err := Diagnose(bad, nyx.DatasetName)
+	if err != nil || diag != DiagARD {
+		t.Fatalf("diag = %s err = %v", diag, err)
+	}
+	fixed, _, err := Correct(bad, nyx.DatasetName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The repair must restore bit-exact reads.
+	f, err := hdf5.Parse(fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, _ := f.Dataset(nyx.DatasetName)
+	if ds.DataOffset != f.MetadataEnd {
+		t.Fatalf("ARD %d != metadata end %d after repair", ds.DataOffset, f.MetadataEnd)
+	}
+}
+
+func TestCorrectRejectsUnknown(t *testing.T) {
+	raw, _ := buildRaw(t)
+	// Corrupt actual data (not metadata): average shifts arbitrarily,
+	// no constraint violated — uncorrectable by this methodology.
+	bad := append([]byte(nil), raw...)
+	f, _ := hdf5.Parse(raw)
+	start := int(f.Datasets[0].DataOffset)
+	for i := 0; i < 2048; i++ {
+		bad[start+i] = 0x41
+	}
+	if _, _, err := Correct(bad, nyx.DatasetName); err == nil {
+		t.Fatal("uncorrectable corruption corrected")
+	}
+}
+
+func TestScaleIsPowerOfTwo(t *testing.T) {
+	for _, x := range []float64{2, 4, 0.5, 4096, 1.0 / 4096} {
+		if !ScaleIsPowerOfTwo(x) {
+			t.Errorf("%v should be a power of two", x)
+		}
+	}
+	for _, x := range []float64{1, 3, 0.55, 1.04, -2, 0, math.NaN(), math.Inf(1)} {
+		if ScaleIsPowerOfTwo(x) {
+			t.Errorf("%v should not be a detectable power of two", x)
+		}
+	}
+}
+
+func TestDiagnosisStrings(t *testing.T) {
+	for _, d := range []Diagnosis{DiagHealthy, DiagExponentBias, DiagGeometry, DiagNormalization, DiagARD, DiagUnknown} {
+		if d.String() == "" || strings.HasPrefix(d.String(), "diagnosis(") {
+			t.Errorf("diagnosis %d has bad string", int(d))
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	// Kahan summation: campaign datasets can mix magnitudes wildly after
+	// fault injection, and the average-value detector needs ~1e-3 relative
+	// accuracy on grids of 10^6 cells.
+	var sum, c float64
+	for _, x := range xs {
+		y := x - c
+		t := sum + y
+		c = (t - sum) - y
+		sum = t
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (0 when len < 2).
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// StdErr returns the standard error of the mean of xs.
+func StdErr(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// MinMax returns the minimum and maximum of xs. It panics on empty input.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		panic("stats: MinMax of empty slice")
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. The input is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[i]*(1-frac) + s[i+1]*frac
+}
+
+// Proportion is an observed binomial proportion with its sample size,
+// e.g. "37 SDCs out of 1000 injection runs".
+type Proportion struct {
+	Successes int
+	Trials    int
+}
+
+// P returns the point estimate of the proportion (0 when Trials == 0).
+func (p Proportion) P() float64 {
+	if p.Trials == 0 {
+		return 0
+	}
+	return float64(p.Successes) / float64(p.Trials)
+}
+
+// const z95 is the two-sided 95% normal quantile used by the paper's
+// "1%~2% error bar ... for 95% confidence interval" statement.
+const z95 = 1.959963984540054
+
+// Wilson95 returns the Wilson score 95% confidence interval for the
+// proportion. Unlike the normal approximation it behaves sensibly at the
+// extremes (0% and 100% observed rates occur routinely in Figure 7 cells,
+// e.g. Nyx shorn writes are all benign).
+func (p Proportion) Wilson95() (lo, hi float64) {
+	if p.Trials == 0 {
+		return 0, 0
+	}
+	n := float64(p.Trials)
+	phat := p.P()
+	z := z95
+	denom := 1 + z*z/n
+	center := (phat + z*z/(2*n)) / denom
+	half := z * math.Sqrt(phat*(1-phat)/n+z*z/(4*n*n)) / denom
+	lo = center - half
+	hi = center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// ErrorBar95 returns the half-width of the normal-approximation 95% CI,
+// the quantity the paper quotes as the "error bar" of a campaign.
+func (p Proportion) ErrorBar95() float64 {
+	if p.Trials == 0 {
+		return 0
+	}
+	phat := p.P()
+	return z95 * math.Sqrt(phat*(1-phat)/float64(p.Trials))
+}
+
+// String renders the proportion as a percentage with its 95% error bar.
+func (p Proportion) String() string {
+	return fmt.Sprintf("%.1f%% ±%.1f%%", 100*p.P(), 100*p.ErrorBar95())
+}

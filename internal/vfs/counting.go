@@ -1,0 +1,223 @@
+package vfs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Primitive names the FUSE-level operations FFIS can target. These mirror
+// the "FFIS_write, FFIS_mknod, FFIS_chmod ..." callbacks of Table I.
+type Primitive string
+
+// The primitive vocabulary. PrimWrite covers both sequential Write and
+// positional WriteAt calls, matching the paper where every data write funnels
+// into the single FFIS_write → pwrite path.
+const (
+	PrimWrite    Primitive = "write"
+	PrimRead     Primitive = "read"
+	PrimCreate   Primitive = "create"
+	PrimOpen     Primitive = "open"
+	PrimMknod    Primitive = "mknod"
+	PrimChmod    Primitive = "chmod"
+	PrimMkdir    Primitive = "mkdir"
+	PrimRemove   Primitive = "remove"
+	PrimRename   Primitive = "rename"
+	PrimTruncate Primitive = "truncate"
+	PrimStat     Primitive = "stat"
+	PrimReadDir  Primitive = "readdir"
+)
+
+// Primitives lists every primitive name in a stable order.
+func Primitives() []Primitive {
+	return []Primitive{
+		PrimWrite, PrimRead, PrimCreate, PrimOpen, PrimMknod, PrimChmod,
+		PrimMkdir, PrimRemove, PrimRename, PrimTruncate, PrimStat, PrimReadDir,
+	}
+}
+
+// CountingFS wraps an FS and counts dynamic executions of each primitive.
+// It implements the paper's I/O profiler: "the I/O profiler instruments the
+// primitive inside the FUSE and executes the application fault-free to
+// obtain the total count".
+type CountingFS struct {
+	inner FS
+
+	mu     sync.Mutex
+	counts map[Primitive]*int64
+}
+
+// NewCountingFS wraps inner with per-primitive counters.
+func NewCountingFS(inner FS) *CountingFS {
+	c := &CountingFS{inner: inner, counts: map[Primitive]*int64{}}
+	for _, p := range Primitives() {
+		var v int64
+		c.counts[p] = &v
+	}
+	return c
+}
+
+func (c *CountingFS) bump(p Primitive) {
+	c.mu.Lock()
+	ctr, ok := c.counts[p]
+	if !ok {
+		var v int64
+		ctr = &v
+		c.counts[p] = ctr
+	}
+	c.mu.Unlock()
+	atomic.AddInt64(ctr, 1)
+}
+
+// Count returns how many times primitive p executed so far.
+func (c *CountingFS) Count(p Primitive) int64 {
+	c.mu.Lock()
+	ctr, ok := c.counts[p]
+	c.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return atomic.LoadInt64(ctr)
+}
+
+// Census returns a snapshot of all counters, sorted by primitive name.
+func (c *CountingFS) Census() []struct {
+	Primitive Primitive
+	Count     int64
+} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]struct {
+		Primitive Primitive
+		Count     int64
+	}, 0, len(c.counts))
+	for p, ctr := range c.counts {
+		out = append(out, struct {
+			Primitive Primitive
+			Count     int64
+		}{p, atomic.LoadInt64(ctr)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Primitive < out[j].Primitive })
+	return out
+}
+
+// Reset zeroes every counter.
+func (c *CountingFS) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, ctr := range c.counts {
+		atomic.StoreInt64(ctr, 0)
+	}
+}
+
+func (c *CountingFS) Create(name string) (File, error) {
+	c.bump(PrimCreate)
+	f, err := c.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &countingFile{File: f, fs: c}, nil
+}
+
+func (c *CountingFS) Open(name string) (File, error) {
+	c.bump(PrimOpen)
+	f, err := c.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &countingFile{File: f, fs: c}, nil
+}
+
+func (c *CountingFS) Append(name string) (File, error) {
+	c.bump(PrimOpen)
+	f, err := c.inner.Append(name)
+	if err != nil {
+		return nil, err
+	}
+	return &countingFile{File: f, fs: c}, nil
+}
+
+func (c *CountingFS) Mkdir(name string) error {
+	c.bump(PrimMkdir)
+	return c.inner.Mkdir(name)
+}
+
+func (c *CountingFS) MkdirAll(name string) error {
+	c.bump(PrimMkdir)
+	return c.inner.MkdirAll(name)
+}
+
+func (c *CountingFS) Remove(name string) error {
+	c.bump(PrimRemove)
+	return c.inner.Remove(name)
+}
+
+func (c *CountingFS) RemoveAll(name string) error {
+	c.bump(PrimRemove)
+	return c.inner.RemoveAll(name)
+}
+
+func (c *CountingFS) Rename(oldName, newName string) error {
+	c.bump(PrimRename)
+	return c.inner.Rename(oldName, newName)
+}
+
+func (c *CountingFS) Stat(name string) (FileInfo, error) {
+	c.bump(PrimStat)
+	return c.inner.Stat(name)
+}
+
+func (c *CountingFS) ReadDir(name string) ([]FileInfo, error) {
+	c.bump(PrimReadDir)
+	return c.inner.ReadDir(name)
+}
+
+func (c *CountingFS) Mknod(name string, mode uint32, dev uint64) error {
+	c.bump(PrimMknod)
+	return c.inner.Mknod(name, mode, dev)
+}
+
+func (c *CountingFS) Chmod(name string, mode uint32) error {
+	c.bump(PrimChmod)
+	return c.inner.Chmod(name, mode)
+}
+
+func (c *CountingFS) Truncate(name string, size int64) error {
+	c.bump(PrimTruncate)
+	return c.inner.Truncate(name, size)
+}
+
+type countingFile struct {
+	File
+	fs *CountingFS
+}
+
+func (f *countingFile) Write(p []byte) (int, error) {
+	f.fs.bump(PrimWrite)
+	return f.File.Write(p)
+}
+
+func (f *countingFile) WriteAt(p []byte, off int64) (int, error) {
+	f.fs.bump(PrimWrite)
+	return f.File.WriteAt(p, off)
+}
+
+func (f *countingFile) Read(p []byte) (int, error) {
+	f.fs.bump(PrimRead)
+	return f.File.Read(p)
+}
+
+func (f *countingFile) ReadAt(p []byte, off int64) (int, error) {
+	f.fs.bump(PrimRead)
+	return f.File.ReadAt(p, off)
+}
+
+func (f *countingFile) Truncate(size int64) error {
+	f.fs.bump(PrimTruncate)
+	return f.File.Truncate(size)
+}
+
+var (
+	_ FS   = (*CountingFS)(nil)
+	_ File = (*countingFile)(nil)
+)

@@ -1,0 +1,122 @@
+package vfs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCountingFSTracksWrites(t *testing.T) {
+	fs := NewCountingFS(NewMemFS())
+	f, err := fs.Create("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("a"))
+	f.Write([]byte("b"))
+	f.WriteAt([]byte("c"), 0)
+	f.Close()
+	if got := fs.Count(PrimWrite); got != 3 {
+		t.Fatalf("write count = %d, want 3", got)
+	}
+	if got := fs.Count(PrimCreate); got != 1 {
+		t.Fatalf("create count = %d, want 1", got)
+	}
+}
+
+func TestCountingFSAllPrimitives(t *testing.T) {
+	fs := NewCountingFS(NewMemFS())
+	fs.MkdirAll("/d")
+	WriteFile(fs, "/d/f", []byte("x"))
+	ReadFile(fs, "/d/f")
+	fs.Stat("/d/f")
+	fs.ReadDir("/d")
+	fs.Chmod("/d/f", 0o600)
+	fs.Mknod("/node", 0o600, 1)
+	fs.Truncate("/d/f", 0)
+	fs.Rename("/d/f", "/d/g")
+	fs.Remove("/d/g")
+
+	for _, p := range []Primitive{
+		PrimMkdir, PrimCreate, PrimWrite, PrimOpen, PrimRead, PrimStat,
+		PrimReadDir, PrimChmod, PrimMknod, PrimTruncate, PrimRename, PrimRemove,
+	} {
+		if fs.Count(p) == 0 {
+			t.Errorf("primitive %s never counted", p)
+		}
+	}
+}
+
+func TestCountingFSReset(t *testing.T) {
+	fs := NewCountingFS(NewMemFS())
+	WriteFile(fs, "/f", []byte("x"))
+	fs.Reset()
+	for _, c := range fs.Census() {
+		if c.Count != 0 {
+			t.Fatalf("%s = %d after reset", c.Primitive, c.Count)
+		}
+	}
+}
+
+func TestCountingFSCensusSorted(t *testing.T) {
+	fs := NewCountingFS(NewMemFS())
+	WriteFile(fs, "/f", []byte("x"))
+	census := fs.Census()
+	if len(census) < 12 {
+		t.Fatalf("census has %d entries", len(census))
+	}
+	for i := 1; i < len(census); i++ {
+		if census[i-1].Primitive >= census[i].Primitive {
+			t.Fatal("census not sorted")
+		}
+	}
+}
+
+func TestCountingFSConcurrent(t *testing.T) {
+	fs := NewCountingFS(NewMemFS())
+	var wg sync.WaitGroup
+	const workers, writesPer = 8, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			f, err := fs.Create("/f" + string(rune('0'+id)))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer f.Close()
+			for i := 0; i < writesPer; i++ {
+				f.Write([]byte("x"))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := fs.Count(PrimWrite); got != workers*writesPer {
+		t.Fatalf("write count = %d, want %d", got, workers*writesPer)
+	}
+}
+
+func TestCountingFSDelegatesContent(t *testing.T) {
+	// Profiling must be transparent (requirement R1): content through the
+	// counting layer is byte-identical to content through the bare FS.
+	inner := NewMemFS()
+	fs := NewCountingFS(inner)
+	WriteFile(fs, "/f", []byte("payload"))
+	got, err := ReadFile(inner, "/f")
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("inner content: %v %q", err, got)
+	}
+}
+
+func TestPrimitivesStable(t *testing.T) {
+	a := Primitives()
+	b := Primitives()
+	if len(a) != len(b) {
+		t.Fatal("unstable primitive list")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("unstable primitive order")
+		}
+	}
+}

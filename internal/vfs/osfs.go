@@ -1,0 +1,187 @@
+package vfs
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// OSFS implements FS on top of a real directory tree, the moral equivalent
+// of the paper's FFISFS mount point backed by ext4/Lustre: campaigns can
+// interpose the very same injector wrappers over real storage instead of
+// MemFS. All paths are interpreted relative to Root and confined to it.
+type OSFS struct {
+	Root string
+}
+
+// NewOSFS returns a file system rooted at dir.
+func NewOSFS(dir string) *OSFS { return &OSFS{Root: dir} }
+
+// resolve maps a virtual path onto the host file system, confining it to
+// Root (".." escapes are squashed by Clean's rooted normalization).
+func (o *OSFS) resolve(name string) string {
+	clean := Clean(name) // rooted, ".." resolved against "/"
+	return filepath.Join(o.Root, filepath.FromSlash(strings.TrimPrefix(clean, "/")))
+}
+
+// Create opens name for writing, creating or truncating it.
+func (o *OSFS) Create(name string) (File, error) {
+	f, err := os.OpenFile(o.resolve(name), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &osFile{name: Clean(name), f: f}, nil
+}
+
+// Open opens name read-only.
+func (o *OSFS) Open(name string) (File, error) {
+	f, err := os.Open(o.resolve(name))
+	if err != nil {
+		return nil, err
+	}
+	return &osFile{name: Clean(name), f: f, readOnly: true}, nil
+}
+
+// Append opens name for writing at end-of-file, creating it if needed.
+func (o *OSFS) Append(name string) (File, error) {
+	// O_APPEND would defeat WriteAt, so seek manually instead.
+	f, err := os.OpenFile(o.resolve(name), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &osFile{name: Clean(name), f: f}, nil
+}
+
+// Mkdir creates one directory level.
+func (o *OSFS) Mkdir(name string) error { return os.Mkdir(o.resolve(name), 0o755) }
+
+// MkdirAll creates name and any missing parents.
+func (o *OSFS) MkdirAll(name string) error { return os.MkdirAll(o.resolve(name), 0o755) }
+
+// Remove unlinks a file or empty directory.
+func (o *OSFS) Remove(name string) error { return os.Remove(o.resolve(name)) }
+
+// RemoveAll removes name recursively; absent names are not an error.
+func (o *OSFS) RemoveAll(name string) error { return os.RemoveAll(o.resolve(name)) }
+
+// Rename moves oldName to newName.
+func (o *OSFS) Rename(oldName, newName string) error {
+	return os.Rename(o.resolve(oldName), o.resolve(newName))
+}
+
+// Stat returns metadata for name.
+func (o *OSFS) Stat(name string) (FileInfo, error) {
+	fi, err := os.Stat(o.resolve(name))
+	if err != nil {
+		return FileInfo{}, err
+	}
+	return FileInfo{
+		Name:  fi.Name(),
+		Size:  fi.Size(),
+		Mode:  uint32(fi.Mode().Perm()),
+		IsDir: fi.IsDir(),
+	}, nil
+}
+
+// ReadDir lists the children of name in sorted order.
+func (o *OSFS) ReadDir(name string) ([]FileInfo, error) {
+	entries, err := os.ReadDir(o.resolve(name))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]FileInfo, 0, len(entries))
+	for _, e := range entries {
+		fi, err := e.Info()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, FileInfo{
+			Name:  e.Name(),
+			Size:  fi.Size(),
+			Mode:  uint32(fi.Mode().Perm()),
+			IsDir: e.IsDir(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Mknod creates a regular marker file recording the mode (portable stand-in
+// for device nodes, which require privileges).
+func (o *OSFS) Mknod(name string, mode uint32, dev uint64) error {
+	f, err := os.OpenFile(o.resolve(name), os.O_WRONLY|os.O_CREATE|os.O_EXCL, os.FileMode(mode&0o777))
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Chmod changes the permission bits of name.
+func (o *OSFS) Chmod(name string, mode uint32) error {
+	return os.Chmod(o.resolve(name), os.FileMode(mode&0o777))
+}
+
+// Truncate resizes name.
+func (o *OSFS) Truncate(name string, size int64) error {
+	return os.Truncate(o.resolve(name), size)
+}
+
+type osFile struct {
+	name     string
+	f        *os.File
+	readOnly bool
+}
+
+func (f *osFile) Name() string { return f.name }
+
+func (f *osFile) Read(p []byte) (int, error) { return f.f.Read(p) }
+
+func (f *osFile) ReadAt(p []byte, off int64) (int, error) { return f.f.ReadAt(p, off) }
+
+func (f *osFile) Write(p []byte) (int, error) {
+	if f.readOnly {
+		return 0, ErrReadOnly
+	}
+	return f.f.Write(p)
+}
+
+func (f *osFile) WriteAt(p []byte, off int64) (int, error) {
+	if f.readOnly {
+		return 0, ErrReadOnly
+	}
+	return f.f.WriteAt(p, off)
+}
+
+func (f *osFile) Seek(offset int64, whence int) (int64, error) {
+	return f.f.Seek(offset, whence)
+}
+
+func (f *osFile) Truncate(size int64) error {
+	if f.readOnly {
+		return ErrReadOnly
+	}
+	return f.f.Truncate(size)
+}
+
+func (f *osFile) Size() (int64, error) {
+	fi, err := f.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+func (f *osFile) Sync() error { return f.f.Sync() }
+
+func (f *osFile) Close() error { return f.f.Close() }
+
+var (
+	_ FS   = (*OSFS)(nil)
+	_ File = (*osFile)(nil)
+)

@@ -1,0 +1,684 @@
+// Package vfs defines the file-system boundary that FFIS instruments.
+//
+// In the paper, FFIS interposes on the FUSE callback layer: applications
+// issue POSIX calls, the kernel routes them to the user-space handlers, and
+// the fault injector corrupts the arguments on their way to the backing
+// store. This package is the Go equivalent of that boundary: an FS interface
+// with FUSE-shaped primitives, an in-memory implementation (MemFS) standing
+// in for the backing device, and wrapper implementations (CountingFS here;
+// core.InjectorFS in package core) standing in for the FFIS instrumentation
+// inserted between the application and the store.
+//
+// Everything the applications in internal/apps do to persistent state flows
+// through this interface, exactly as the paper requires transparency (R1)
+// and convenience (R2): applications never know whether they run on a bare
+// MemFS, a counting profiler, or an armed fault injector.
+package vfs
+
+import (
+	"errors"
+	"io"
+	iofs "io/fs"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Sentinel errors. ErrNotExist and ErrExist alias the stdlib io/fs errors so
+// callers can use errors.Is with either spelling.
+var (
+	ErrNotExist    = iofs.ErrNotExist
+	ErrExist       = iofs.ErrExist
+	ErrIsDir       = errors.New("vfs: is a directory")
+	ErrNotDir      = errors.New("vfs: not a directory")
+	ErrClosed      = errors.New("vfs: file already closed")
+	ErrReadOnly    = errors.New("vfs: file opened read-only")
+	ErrDirNotEmpty = errors.New("vfs: directory not empty")
+)
+
+// FileInfo describes a file or directory.
+type FileInfo struct {
+	Name  string // base name
+	Size  int64  // content length in bytes (0 for directories)
+	Mode  uint32 // permission bits, POSIX style
+	IsDir bool
+}
+
+// File is an open file handle. ReadAt/WriteAt mirror pread/pwrite — the
+// primitives the paper's FFIS_write instrumentation feeds — while
+// Read/Write/Seek provide the sequential interface applications typically
+// use. Implementations must allow concurrent calls on distinct handles.
+type File interface {
+	// Name returns the cleaned absolute path this handle was opened with.
+	Name() string
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	// ReadAt is pread(2): it does not move the sequential offset.
+	ReadAt(p []byte, off int64) (int, error)
+	// WriteAt is pwrite(2): it does not move the sequential offset.
+	WriteAt(p []byte, off int64) (int, error)
+	// Truncate changes the file size.
+	Truncate(size int64) error
+	// Size reports the current content length.
+	Size() (int64, error)
+	// Sync flushes buffered state. MemFS is always durable, so this is a
+	// no-op there, but the interface keeps applications honest about where
+	// their durability points are — the same points FFIS targets.
+	Sync() error
+}
+
+// FS is the FUSE-shaped primitive set FFIS interposes on. The method set
+// matches the callbacks named in Table I of the paper (write, mknod, chmod,
+// ...) plus the read-side operations applications need.
+type FS interface {
+	Create(name string) (File, error)        // open for write, truncating
+	Open(name string) (File, error)          // open read-only
+	Append(name string) (File, error)        // open for write at end, creating
+	Mkdir(name string) error                 // create one directory level
+	MkdirAll(name string) error              // create a directory tree
+	Remove(name string) error                // unlink a file or empty dir
+	RemoveAll(name string) error             // recursive remove, nil if absent
+	Rename(oldName, newName string) error    // atomic rename
+	Stat(name string) (FileInfo, error)      // metadata lookup
+	ReadDir(name string) ([]FileInfo, error) // sorted directory listing
+	Mknod(name string, mode uint32, dev uint64) error
+	Chmod(name string, mode uint32) error
+	Truncate(name string, size int64) error
+}
+
+// Clean normalizes a path to the canonical rooted slash form used as map
+// keys by MemFS and by the wrappers' accounting.
+func Clean(name string) string {
+	if name == "" {
+		return "/"
+	}
+	if !strings.HasPrefix(name, "/") {
+		name = "/" + name
+	}
+	return path.Clean(name)
+}
+
+// ReadFile reads the whole content of name.
+func ReadFile(fsys FS, name string) ([]byte, error) {
+	f, err := fsys.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, size)
+	n, err := io.ReadFull(f, buf)
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		return nil, err
+	}
+	return buf[:n], nil
+}
+
+// WriteFile writes data to name, creating or truncating it.
+func WriteFile(fsys FS, name string, data []byte) error {
+	f, err := fsys.Create(name)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Exists reports whether name exists in fsys.
+func Exists(fsys FS, name string) bool {
+	_, err := fsys.Stat(name)
+	return err == nil
+}
+
+// CopyFile copies src to dst within fsys.
+func CopyFile(fsys FS, dst, src string) error {
+	data, err := ReadFile(fsys, src)
+	if err != nil {
+		return err
+	}
+	return WriteFile(fsys, dst, data)
+}
+
+// Walk calls fn for every file (not directory) under root, in sorted path
+// order. It is used by test helpers and the experiment harness to snapshot
+// file trees for golden comparison.
+func Walk(fsys FS, root string, fn func(p string, info FileInfo) error) error {
+	infos, err := fsys.ReadDir(root)
+	if err != nil {
+		return err
+	}
+	root = Clean(root)
+	for _, info := range infos {
+		child := path.Join(root, info.Name)
+		if info.IsDir {
+			if err := Walk(fsys, child, fn); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := fn(child, info); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// memNode is a single entry (file or directory) in a MemFS tree.
+type memNode struct {
+	mu    sync.RWMutex
+	data  []byte
+	mode  uint32
+	isDir bool
+	dev   uint64 // mknod device number; kept so metadata faults have a target
+}
+
+// MemFS is a thread-safe, in-memory file system. It stands in for the
+// "underline file system + SSD" below FFIS: bytes written here are what the
+// application later reads back, so corrupting a write corrupts the durable
+// state exactly once, with no caching layer to mask it.
+//
+// The zero value is not usable; call NewMemFS.
+type MemFS struct {
+	mu    sync.RWMutex
+	nodes map[string]*memNode
+}
+
+// NewMemFS returns an empty file system containing only the root directory.
+func NewMemFS() *MemFS {
+	return &MemFS{nodes: map[string]*memNode{
+		"/": {isDir: true, mode: 0o755},
+	}}
+}
+
+func (m *MemFS) lookup(name string) (*memNode, bool) {
+	n, ok := m.nodes[Clean(name)]
+	return n, ok
+}
+
+// parentOK reports whether the parent of name exists and is a directory.
+func (m *MemFS) parentOK(name string) error {
+	dir := path.Dir(Clean(name))
+	n, ok := m.nodes[dir]
+	if !ok {
+		return &PathError{Op: "open", Path: name, Err: ErrNotExist}
+	}
+	if !n.isDir {
+		return &PathError{Op: "open", Path: name, Err: ErrNotDir}
+	}
+	return nil
+}
+
+// PathError mirrors os.PathError for this virtual layer.
+type PathError struct {
+	Op   string
+	Path string
+	Err  error
+}
+
+func (e *PathError) Error() string { return "vfs " + e.Op + " " + e.Path + ": " + e.Err.Error() }
+func (e *PathError) Unwrap() error { return e.Err }
+
+// Create opens name for writing, creating or truncating it.
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = Clean(name)
+	if err := m.parentOK(name); err != nil {
+		return nil, err
+	}
+	if n, ok := m.nodes[name]; ok {
+		if n.isDir {
+			return nil, &PathError{Op: "create", Path: name, Err: ErrIsDir}
+		}
+		n.mu.Lock()
+		n.data = n.data[:0]
+		n.mu.Unlock()
+		return &memFile{name: name, node: n, writable: true}, nil
+	}
+	n := &memNode{mode: 0o644}
+	m.nodes[name] = n
+	return &memFile{name: name, node: n, writable: true}, nil
+}
+
+// Open opens name read-only.
+func (m *MemFS) Open(name string) (File, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	name = Clean(name)
+	n, ok := m.nodes[name]
+	if !ok {
+		return nil, &PathError{Op: "open", Path: name, Err: ErrNotExist}
+	}
+	if n.isDir {
+		return nil, &PathError{Op: "open", Path: name, Err: ErrIsDir}
+	}
+	return &memFile{name: name, node: n, writable: false}, nil
+}
+
+// Append opens name for writing with the offset at end-of-file, creating the
+// file if needed.
+func (m *MemFS) Append(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = Clean(name)
+	if err := m.parentOK(name); err != nil {
+		return nil, err
+	}
+	n, ok := m.nodes[name]
+	if !ok {
+		n = &memNode{mode: 0o644}
+		m.nodes[name] = n
+	} else if n.isDir {
+		return nil, &PathError{Op: "append", Path: name, Err: ErrIsDir}
+	}
+	n.mu.RLock()
+	off := int64(len(n.data))
+	n.mu.RUnlock()
+	return &memFile{name: name, node: n, writable: true, off: off}, nil
+}
+
+// Mkdir creates a single directory level.
+func (m *MemFS) Mkdir(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = Clean(name)
+	if _, ok := m.nodes[name]; ok {
+		return &PathError{Op: "mkdir", Path: name, Err: ErrExist}
+	}
+	if err := m.parentOK(name); err != nil {
+		return err
+	}
+	m.nodes[name] = &memNode{isDir: true, mode: 0o755}
+	return nil
+}
+
+// MkdirAll creates name and any missing parents.
+func (m *MemFS) MkdirAll(name string) error {
+	name = Clean(name)
+	if name == "/" {
+		return nil
+	}
+	var build strings.Builder
+	for _, part := range strings.Split(strings.TrimPrefix(name, "/"), "/") {
+		build.WriteString("/")
+		build.WriteString(part)
+		p := build.String()
+		m.mu.Lock()
+		if n, ok := m.nodes[p]; ok {
+			isDir := n.isDir
+			m.mu.Unlock()
+			if !isDir {
+				return &PathError{Op: "mkdir", Path: p, Err: ErrNotDir}
+			}
+			continue
+		}
+		m.nodes[p] = &memNode{isDir: true, mode: 0o755}
+		m.mu.Unlock()
+	}
+	return nil
+}
+
+// Remove unlinks a file or an empty directory.
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = Clean(name)
+	n, ok := m.nodes[name]
+	if !ok {
+		return &PathError{Op: "remove", Path: name, Err: ErrNotExist}
+	}
+	if n.isDir {
+		prefix := name + "/"
+		if name == "/" {
+			prefix = "/"
+		}
+		for p := range m.nodes {
+			if p != name && strings.HasPrefix(p, prefix) {
+				return &PathError{Op: "remove", Path: name, Err: ErrDirNotEmpty}
+			}
+		}
+	}
+	delete(m.nodes, name)
+	return nil
+}
+
+// RemoveAll removes name and everything under it; absent names are not an
+// error, matching os.RemoveAll.
+func (m *MemFS) RemoveAll(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = Clean(name)
+	if name == "/" {
+		m.nodes = map[string]*memNode{"/": {isDir: true, mode: 0o755}}
+		return nil
+	}
+	prefix := name + "/"
+	for p := range m.nodes {
+		if p == name || strings.HasPrefix(p, prefix) {
+			delete(m.nodes, p)
+		}
+	}
+	return nil
+}
+
+// Rename atomically moves oldName to newName (and any children when renaming
+// a directory).
+func (m *MemFS) Rename(oldName, newName string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	oldName, newName = Clean(oldName), Clean(newName)
+	n, ok := m.nodes[oldName]
+	if !ok {
+		return &PathError{Op: "rename", Path: oldName, Err: ErrNotExist}
+	}
+	if err := m.parentOK(newName); err != nil {
+		return err
+	}
+	if dst, ok := m.nodes[newName]; ok && dst.isDir {
+		return &PathError{Op: "rename", Path: newName, Err: ErrIsDir}
+	}
+	if n.isDir {
+		oldPrefix := oldName + "/"
+		moves := map[string]string{}
+		for p := range m.nodes {
+			if strings.HasPrefix(p, oldPrefix) {
+				moves[p] = newName + "/" + strings.TrimPrefix(p, oldPrefix)
+			}
+		}
+		for from, to := range moves {
+			m.nodes[to] = m.nodes[from]
+			delete(m.nodes, from)
+		}
+	}
+	m.nodes[newName] = n
+	delete(m.nodes, oldName)
+	return nil
+}
+
+// Stat returns metadata for name.
+func (m *MemFS) Stat(name string) (FileInfo, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	name = Clean(name)
+	n, ok := m.nodes[name]
+	if !ok {
+		return FileInfo{}, &PathError{Op: "stat", Path: name, Err: ErrNotExist}
+	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return FileInfo{
+		Name:  path.Base(name),
+		Size:  int64(len(n.data)),
+		Mode:  n.mode,
+		IsDir: n.isDir,
+	}, nil
+}
+
+// ReadDir lists the immediate children of name in sorted order.
+func (m *MemFS) ReadDir(name string) ([]FileInfo, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	name = Clean(name)
+	n, ok := m.nodes[name]
+	if !ok {
+		return nil, &PathError{Op: "readdir", Path: name, Err: ErrNotExist}
+	}
+	if !n.isDir {
+		return nil, &PathError{Op: "readdir", Path: name, Err: ErrNotDir}
+	}
+	prefix := name + "/"
+	if name == "/" {
+		prefix = "/"
+	}
+	var out []FileInfo
+	for p, child := range m.nodes {
+		if p == name || !strings.HasPrefix(p, prefix) {
+			continue
+		}
+		rest := strings.TrimPrefix(p, prefix)
+		if strings.Contains(rest, "/") {
+			continue // not an immediate child
+		}
+		child.mu.RLock()
+		out = append(out, FileInfo{
+			Name:  rest,
+			Size:  int64(len(child.data)),
+			Mode:  child.mode,
+			IsDir: child.isDir,
+		})
+		child.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Mknod creates a special node. MemFS records the mode and device number so
+// that fault models targeting FFIS_mknod (Table I) have real state to hit.
+func (m *MemFS) Mknod(name string, mode uint32, dev uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = Clean(name)
+	if _, ok := m.nodes[name]; ok {
+		return &PathError{Op: "mknod", Path: name, Err: ErrExist}
+	}
+	if err := m.parentOK(name); err != nil {
+		return err
+	}
+	m.nodes[name] = &memNode{mode: mode, dev: dev}
+	return nil
+}
+
+// Chmod changes the permission bits of name.
+func (m *MemFS) Chmod(name string, mode uint32) error {
+	m.mu.RLock()
+	n, ok := m.lookup(name)
+	m.mu.RUnlock()
+	if !ok {
+		return &PathError{Op: "chmod", Path: name, Err: ErrNotExist}
+	}
+	n.mu.Lock()
+	n.mode = mode
+	n.mu.Unlock()
+	return nil
+}
+
+// Truncate resizes name to size bytes, zero-filling when growing.
+func (m *MemFS) Truncate(name string, size int64) error {
+	m.mu.RLock()
+	n, ok := m.lookup(name)
+	m.mu.RUnlock()
+	if !ok {
+		return &PathError{Op: "truncate", Path: name, Err: ErrNotExist}
+	}
+	if n.isDir {
+		return &PathError{Op: "truncate", Path: name, Err: ErrIsDir}
+	}
+	return truncateNode(n, size)
+}
+
+func truncateNode(n *memNode, size int64) error {
+	if size < 0 {
+		return errors.New("vfs: negative truncate size")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	switch {
+	case int64(len(n.data)) > size:
+		n.data = n.data[:size]
+	case int64(len(n.data)) < size:
+		n.data = append(n.data, make([]byte, size-int64(len(n.data)))...)
+	}
+	return nil
+}
+
+// memFile is an open handle onto a memNode.
+type memFile struct {
+	name     string
+	node     *memNode
+	writable bool
+
+	mu     sync.Mutex // guards off and closed for this handle
+	off    int64
+	closed bool
+}
+
+func (f *memFile) Name() string { return f.name }
+
+func (f *memFile) Read(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return 0, ErrClosed
+	}
+	n, err := f.readAt(p, f.off)
+	f.off += int64(n)
+	return n, err
+}
+
+func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	closed := f.closed
+	f.mu.Unlock()
+	if closed {
+		return 0, ErrClosed
+	}
+	return f.readAt(p, off)
+}
+
+func (f *memFile) readAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, errors.New("vfs: negative read offset")
+	}
+	f.node.mu.RLock()
+	defer f.node.mu.RUnlock()
+	if off >= int64(len(f.node.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.node.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return 0, ErrClosed
+	}
+	n, err := f.writeAt(p, f.off)
+	f.off += int64(n)
+	return n, err
+}
+
+func (f *memFile) WriteAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	closed := f.closed
+	f.mu.Unlock()
+	if closed {
+		return 0, ErrClosed
+	}
+	return f.writeAt(p, off)
+}
+
+func (f *memFile) writeAt(p []byte, off int64) (int, error) {
+	if !f.writable {
+		return 0, ErrReadOnly
+	}
+	if off < 0 {
+		return 0, errors.New("vfs: negative write offset")
+	}
+	f.node.mu.Lock()
+	defer f.node.mu.Unlock()
+	if grow := off + int64(len(p)) - int64(len(f.node.data)); grow > 0 {
+		f.node.data = append(f.node.data, make([]byte, grow)...)
+	}
+	copy(f.node.data[off:], p)
+	return len(p), nil
+}
+
+func (f *memFile) Seek(offset int64, whence int) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return 0, ErrClosed
+	}
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = f.off
+	case io.SeekEnd:
+		f.node.mu.RLock()
+		base = int64(len(f.node.data))
+		f.node.mu.RUnlock()
+	default:
+		return 0, errors.New("vfs: bad seek whence")
+	}
+	pos := base + offset
+	if pos < 0 {
+		return 0, errors.New("vfs: negative seek position")
+	}
+	f.off = pos
+	return pos, nil
+}
+
+func (f *memFile) Truncate(size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	if !f.writable {
+		return ErrReadOnly
+	}
+	return truncateNode(f.node, size)
+}
+
+func (f *memFile) Size() (int64, error) {
+	f.mu.Lock()
+	closed := f.closed
+	f.mu.Unlock()
+	if closed {
+		return 0, ErrClosed
+	}
+	f.node.mu.RLock()
+	defer f.node.mu.RUnlock()
+	return int64(len(f.node.data)), nil
+}
+
+func (f *memFile) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+func (f *memFile) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	f.closed = true
+	return nil
+}
+
+// interface conformance checks
+var (
+	_ FS   = (*MemFS)(nil)
+	_ File = (*memFile)(nil)
+)
