@@ -6,6 +6,7 @@
 //	experiments -table 3                   # just the metadata campaign
 //	experiments -fig 7 -runs 200           # the characterization, reduced
 //	experiments -fig 5 -outdir ./artifacts # writes PGM visualizations
+//	experiments -tiered -runs 200          # fault placement across storage tiers
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"ffis/internal/core"
 	"ffis/internal/experiments"
 )
 
@@ -30,6 +32,7 @@ func main() {
 		useAvg   = flag.Bool("avg-detector", false, "apply the Nyx average-value method in Figure 7")
 		ablation = flag.Bool("ablation", false, "run the design-choice ablation sweeps")
 		detector = flag.Bool("detector-study", false, "run the Nyx with/without average-value comparison")
+		tiered   = flag.Bool("tiered", false, "run the tiered-storage placement sweep (fault tier vs clean tiers)")
 		outdir   = flag.String("outdir", "", "directory for image artifacts (Figures 5 and 9)")
 	)
 	flag.Parse()
@@ -147,6 +150,16 @@ func main() {
 			die(err)
 		}
 		fmt.Println(out)
+		ranSomething = true
+	}
+	if *tiered || *all {
+		for _, model := range core.Models() {
+			out, _, err := experiments.Tiered(nil, model, o)
+			if err != nil {
+				die(err)
+			}
+			fmt.Println(out)
+		}
 		ranSomething = true
 	}
 	if !ranSomething {

@@ -7,6 +7,13 @@
 //
 //	ffis -app nyx -model dw -runs 1000
 //	ffis -app MT2 -model sw -runs 200 -csv
+//
+// Tiered storage: -mount builds a multi-backend world (repeatable, syntax
+// PATH[=BACKEND]; campaigns require the hermetic mem backend) and -arm
+// restricts injection to the I/O routed to the named mounts, leaving every
+// other tier clean:
+//
+//	ffis -app nyx -model bf -mount /plt00000 -mount /out -arm /plt00000
 package main
 
 import (
@@ -22,6 +29,16 @@ import (
 	"ffis/internal/vfs"
 )
 
+// stringList is a repeatable string flag.
+type stringList []string
+
+func (l *stringList) String() string { return strings.Join(*l, ",") }
+
+func (l *stringList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
 func main() {
 	var (
 		app       = flag.String("app", "nyx", "campaign cell: nyx, qmcpack, MT1, MT2, MT3, MT4")
@@ -35,6 +52,9 @@ func main() {
 		asJSON    = flag.Bool("json", false, "emit the machine-readable JSON result")
 		showTrace = flag.Bool("trace", false, "print the workload's fault-free I/O pattern profile first")
 	)
+	var mountSpecs, armMounts stringList
+	flag.Var(&mountSpecs, "mount", "mount a backend at PATH[=BACKEND] (repeatable; BACKEND: mem, os:DIR)")
+	flag.Var(&armMounts, "arm", "arm the injector only on this mount point (repeatable; requires -mount)")
 	flag.Parse()
 
 	var fm core.FaultModel
@@ -50,12 +70,32 @@ func main() {
 		os.Exit(2)
 	}
 
+	mounts, err := experiments.ParseMountSpecs(mountSpecs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ffis: %v\n", err)
+		os.Exit(2)
+	}
+	for _, m := range mounts {
+		// A campaign's statistics assume a fresh, hermetic world per run;
+		// an os: backend is one shared host directory mutated by every
+		// (possibly parallel) run. Reject it here rather than tally noise.
+		if m.Backend != "mem" {
+			fmt.Fprintf(os.Stderr, "ffis: mount %s=%s: campaigns need hermetic per-run state; use the mem backend (os: backends are for library-level one-shot inspection)\n", m.Path, m.Backend)
+			os.Exit(2)
+		}
+	}
+	if len(armMounts) > 0 && len(mounts) == 0 {
+		fmt.Fprintln(os.Stderr, "ffis: -arm needs a mounted world; add -mount flags")
+		os.Exit(2)
+	}
 	opts := experiments.Options{
 		Runs:           *runs,
 		Seed:           *seed,
 		Workers:        *workers,
 		NyxN:           *nyxN,
 		UseAvgDetector: *useAvg,
+		Mounts:         mounts,
+		ArmMounts:      armMounts,
 	}
 	if *showTrace {
 		w, err := experiments.NewWorkload(*app, opts)
@@ -63,7 +103,17 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ffis: %v\n", err)
 			os.Exit(1)
 		}
-		rec := trace.NewRecorder(vfs.NewMemFS())
+		// Trace on the same world the campaign will run on, so the printed
+		// profile matches what ProfileMounts is about to count.
+		world := vfs.FS(vfs.NewMemFS())
+		if w.NewFS != nil {
+			world, err = w.NewFS()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ffis: trace world: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		rec := trace.NewRecorder(world)
 		if w.Setup != nil {
 			if err := w.Setup(rec); err != nil {
 				fmt.Fprintf(os.Stderr, "ffis: trace setup: %v\n", err)
@@ -82,6 +132,10 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ffis: %v\n", err)
 		os.Exit(1)
+	}
+	if len(armMounts) > 0 {
+		fmt.Printf("injector armed on mounts: %s (all other tiers stay clean)\n",
+			strings.Join(armMounts, ", "))
 	}
 	fmt.Printf("fault signature: %s\n", res.Signature)
 	fmt.Printf("profiled %d dynamic executions of the target primitive\n", res.ProfileCount)

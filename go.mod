@@ -1,0 +1,3 @@
+module ffis
+
+go 1.24

@@ -30,6 +30,20 @@ type Workload struct {
 	// application error or recovered panic, nil for a clean exit. It runs
 	// on the bare file system.
 	Classify func(fs vfs.FS, runErr error) classify.Outcome
+	// NewFS constructs the storage world for one run (golden, profiling,
+	// and every injection run alike — each gets a fresh world, as the
+	// paper remounts FFISFS per run). Nil selects a bare MemFS. Tiered
+	// campaigns return a *vfs.MountFS here so that CampaignConfig.ArmMounts
+	// can aim the injector at a single storage tier.
+	NewFS func() (vfs.FS, error)
+}
+
+// newWorld builds the workload's file-system world for one run.
+func newWorld(w Workload) (vfs.FS, error) {
+	if w.NewFS == nil {
+		return vfs.NewMemFS(), nil
+	}
+	return w.NewFS()
 }
 
 // CampaignConfig controls a statistical fault-injection campaign.
@@ -43,6 +57,12 @@ type CampaignConfig struct {
 	Seed uint64
 	// Workers bounds parallel runs; <= 0 selects GOMAXPROCS.
 	Workers int
+	// ArmMounts restricts injection (and the profiling count) to the I/O
+	// routed to these mount points of the workload's *vfs.MountFS world:
+	// the fault lives in one storage tier, every other tier stays clean.
+	// Requires Workload.NewFS to return a *vfs.MountFS. Empty arms the
+	// whole file system, the paper's flat single-device setup.
+	ArmMounts []string
 }
 
 // RunRecord captures a single fault-injection run.
@@ -82,17 +102,65 @@ var ErrNoTargets = errors.New("core: target primitive never executes in workload
 // returns the dynamic execution count of the signature's target primitive
 // (the I/O profiler of Figure 4). The workload must succeed fault-free.
 func Profile(w Workload, sig Signature) (int64, error) {
-	base := vfs.NewMemFS()
+	return ProfileMounts(w, sig, nil)
+}
+
+// ProfileMounts is Profile restricted to the I/O routed to the given mount
+// points: only primitive executions that reach one of the armed tiers are
+// counted, so the injection target space matches exactly what ArmMounts can
+// corrupt. Empty mounts profiles the whole file system.
+func ProfileMounts(w Workload, sig Signature, mounts []string) (int64, error) {
+	base, err := newWorld(w)
+	if err != nil {
+		return 0, fmt.Errorf("core: profile world: %w", err)
+	}
 	if w.Setup != nil {
 		if err := w.Setup(base); err != nil {
 			return 0, fmt.Errorf("core: profile setup: %w", err)
 		}
 	}
-	counting := vfs.NewCountingFS(base)
-	if err := runRecovering(w.Run, counting); err != nil {
+	var counters []*vfs.CountingFS
+	counted, err := interposeMounts(base, mounts, func(inner vfs.FS) vfs.FS {
+		c := vfs.NewCountingFS(inner)
+		counters = append(counters, c)
+		return c
+	})
+	if err != nil {
+		return 0, err
+	}
+	if err := runRecovering(w.Run, counted); err != nil {
 		return 0, fmt.Errorf("core: fault-free profiling run failed: %w", err)
 	}
-	return counting.Count(sig.Primitive), nil
+	var total int64
+	for _, c := range counters {
+		total += c.Count(sig.Primitive)
+	}
+	return total, nil
+}
+
+// interposeMounts wraps the armed scope of the world with wrap: the whole
+// file system when mounts is empty, or each named mount of a *vfs.MountFS
+// world otherwise. In the mount case the returned FS is a shallow copy of
+// the table sharing the same backends, so the caller's base remains a clean
+// routing view onto the very same storage — setup and classification read
+// and write the real state without passing through the interposition.
+func interposeMounts(base vfs.FS, mounts []string, wrap func(vfs.FS) vfs.FS) (vfs.FS, error) {
+	if len(mounts) == 0 {
+		return wrap(base), nil
+	}
+	mt, ok := base.(*vfs.MountFS)
+	if !ok {
+		return nil, errors.New("core: ArmMounts requires a *vfs.MountFS world (set Workload.NewFS)")
+	}
+	armed := mt
+	for _, dir := range mounts {
+		var err error
+		armed, err = armed.WithInterposed(dir, wrap)
+		if err != nil {
+			return nil, fmt.Errorf("core: arm mount %s: %w", dir, err)
+		}
+	}
+	return armed, nil
 }
 
 // runRecovering invokes run and converts panics into errors, standing in
@@ -111,14 +179,29 @@ func runRecovering(run func(vfs.FS) error, fs vfs.FS) (err error) {
 // instance, returning its record. Each run gets a fresh file system —
 // matching the paper, which remounts FFISFS for every run.
 func RunOnce(w Workload, sig Signature, target int64, rng *stats.RNG) (RunRecord, error) {
-	base := vfs.NewMemFS()
+	return RunOnceMounts(w, sig, target, rng, nil)
+}
+
+// RunOnceMounts is RunOnce with the injector armed only on the I/O routed
+// to the given mount points (empty = the whole file system). The workload
+// runs on a view whose armed tiers are wrapped by the injector; outcome
+// classification runs on the clean view of the same storage.
+func RunOnceMounts(w Workload, sig Signature, target int64, rng *stats.RNG, mounts []string) (RunRecord, error) {
+	base, err := newWorld(w)
+	if err != nil {
+		return RunRecord{}, fmt.Errorf("core: world: %w", err)
+	}
 	if w.Setup != nil {
 		if err := w.Setup(base); err != nil {
 			return RunRecord{}, fmt.Errorf("core: setup: %w", err)
 		}
 	}
 	inj := NewInjector(sig, target, rng)
-	runErr := runRecovering(w.Run, inj.Wrap(base))
+	armed, err := interposeMounts(base, mounts, inj.Wrap)
+	if err != nil {
+		return RunRecord{}, err
+	}
+	runErr := runRecovering(w.Run, armed)
 	outcome := classify.Crash
 	if w.Classify != nil {
 		outcome = w.Classify(base, runErr)
@@ -143,7 +226,7 @@ func Campaign(cfg CampaignConfig, w Workload) (CampaignResult, error) {
 		return CampaignResult{}, errors.New("core: campaign needs Runs > 0")
 	}
 	sig := cfg.Fault.Signature()
-	count, err := Profile(w, sig)
+	count, err := ProfileMounts(w, sig, cfg.ArmMounts)
 	if err != nil {
 		return CampaignResult{}, err
 	}
@@ -172,7 +255,7 @@ func Campaign(cfg CampaignConfig, w Workload) (CampaignResult, error) {
 				// from (seed, run index).
 				rng := stats.NewRNG(cfg.Seed ^ (uint64(idx)+1)*0x9e3779b97f4a7c15)
 				target := int64(rng.Intn(int(count)))
-				rec, err := RunOnce(w, sig, target, rng)
+				rec, err := RunOnceMounts(w, sig, target, rng, cfg.ArmMounts)
 				rec.Index = idx
 				records[idx] = rec
 				errs[idx] = err
@@ -202,9 +285,14 @@ func Campaign(cfg CampaignConfig, w Workload) (CampaignResult, error) {
 
 // GoldenSnapshot captures the bytes of every file under root after a
 // fault-free run; classifiers use it for the paper's "bit-wise identical"
-// benign test.
+// benign test. The snapshot is taken on the workload's own world (NewFS),
+// so tiered campaigns compare against a golden run on the same mount
+// layout.
 func GoldenSnapshot(w Workload, root string) (map[string][]byte, error) {
-	fs := vfs.NewMemFS()
+	fs, err := newWorld(w)
+	if err != nil {
+		return nil, err
+	}
 	if w.Setup != nil {
 		if err := w.Setup(fs); err != nil {
 			return nil, err

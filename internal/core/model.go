@@ -11,6 +11,13 @@
 //     CountingFS and reports the dynamic count of the target primitive.
 //   - Fault injector — NewInjector()/InjectorFS corrupt the randomly chosen
 //     instance; Campaign() loops runs and classifies outcomes.
+//
+// Beyond the paper's flat single-device setup, campaigns can route faults
+// by storage tier: a Workload whose NewFS returns a *vfs.MountFS world can
+// be armed on a subset of its mounts via CampaignConfig.ArmMounts, in which
+// case ProfileMounts counts — and the injector corrupts — only the I/O
+// routed to those mounts. All other tiers stay clean, and outcome
+// classification always reads through the unarmed view of the same storage.
 package core
 
 import (

@@ -38,6 +38,12 @@ type Options struct {
 	// classification ("all SDC cases with Nyx will be changed to
 	// detected cases after using the average-value-based method").
 	UseAvgDetector bool
+	// Mounts, when non-empty, runs the workload on a MountFS world with
+	// these extra mount points instead of a flat MemFS (cmd/ffis -mount).
+	Mounts []MountSpec
+	// ArmMounts restricts fault injection to the I/O routed to these
+	// mount points of the world (cmd/ffis -arm); empty arms everything.
+	ArmMounts []string
 }
 
 // paper-scale defaults.
@@ -122,7 +128,20 @@ func Table4(o Options) (string, []metainject.FieldEffect, error) {
 var Fig7Cells = []string{"nyx", "qmcpack", "MT1", "MT2", "MT3", "MT4"}
 
 // NewWorkload constructs the campaign workload for a Figure 7 cell name.
+// When Options.Mounts is set, the workload runs on a MountFS world with
+// those mount points, making it armable per tier via Options.ArmMounts.
 func NewWorkload(cell string, o Options) (core.Workload, error) {
+	w, err := newBareWorkload(cell, o)
+	if err != nil {
+		return core.Workload{}, err
+	}
+	if len(o.Mounts) > 0 {
+		w.NewFS = NewFSFromSpecs(o.Mounts)
+	}
+	return w, nil
+}
+
+func newBareWorkload(cell string, o Options) (core.Workload, error) {
 	o = o.normalize()
 	switch cell {
 	case "nyx":
@@ -158,10 +177,11 @@ func Fig7Cell(cell string, model core.FaultModel, o Options) (core.CampaignResul
 		return core.CampaignResult{}, err
 	}
 	return core.Campaign(core.CampaignConfig{
-		Fault:   core.Config{Model: model},
-		Runs:    o.Runs,
-		Seed:    o.Seed,
-		Workers: o.Workers,
+		Fault:     core.Config{Model: model},
+		Runs:      o.Runs,
+		Seed:      o.Seed,
+		Workers:   o.Workers,
+		ArmMounts: o.ArmMounts,
 	}, w)
 }
 

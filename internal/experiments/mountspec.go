@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"ffis/internal/vfs"
+)
+
+// MountSpec is a parsed mount-table entry from the command line. The
+// accepted syntax (cmd/ffis -mount, repeatable) is
+//
+//	PATH[=BACKEND]
+//
+// where PATH is the absolute mount point and BACKEND is one of
+//
+//	mem      a fresh in-memory backend per campaign run (the default, and
+//	         the only hermetic choice for statistical campaigns)
+//	os:DIR   the host directory DIR via vfs.OSFS — state persists across
+//	         runs, so cmd/ffis rejects it for campaigns; it exists for
+//	         library-level one-shot inspection
+//
+// Examples: "/scratch", "/scratch=mem", "/data=os:/tmp/ffis-data".
+type MountSpec struct {
+	Path    string
+	Backend string // "mem" or "os:DIR"
+}
+
+// ParseMountSpec parses one -mount flag value.
+func ParseMountSpec(s string) (MountSpec, error) {
+	path, backend := s, "mem"
+	if i := strings.IndexByte(s, '='); i >= 0 {
+		path, backend = s[:i], s[i+1:]
+	}
+	if path == "" || !strings.HasPrefix(path, "/") {
+		return MountSpec{}, fmt.Errorf("experiments: mount spec %q: path must be absolute", s)
+	}
+	if backend != "mem" && !strings.HasPrefix(backend, "os:") {
+		return MountSpec{}, fmt.Errorf("experiments: mount spec %q: backend must be mem or os:DIR", s)
+	}
+	if backend == "os:" {
+		return MountSpec{}, fmt.Errorf("experiments: mount spec %q: os backend needs a directory", s)
+	}
+	return MountSpec{Path: vfs.Clean(path), Backend: backend}, nil
+}
+
+// ParseMountSpecs parses a list of -mount flag values.
+func ParseMountSpecs(specs []string) ([]MountSpec, error) {
+	out := make([]MountSpec, 0, len(specs))
+	for _, s := range specs {
+		ms, err := ParseMountSpec(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ms)
+	}
+	return out, nil
+}
+
+// NewFSFromSpecs returns a world constructor (core.Workload.NewFS) building
+// a MountFS with a MemFS root and one backend per spec. Mem backends are
+// fresh per call; os backends hand out the same host directory every run —
+// they break the fresh-world-per-run assumption statistical campaigns rely
+// on (cmd/ffis therefore refuses them) and exist for one-shot inspection.
+func NewFSFromSpecs(specs []MountSpec) func() (vfs.FS, error) {
+	return func() (vfs.FS, error) {
+		m := vfs.NewMountFS(vfs.NewMemFS())
+		for _, s := range specs {
+			var backend vfs.FS
+			if dir, ok := strings.CutPrefix(s.Backend, "os:"); ok {
+				if err := os.MkdirAll(dir, 0o755); err != nil {
+					return nil, fmt.Errorf("experiments: mount %s: %w", s.Path, err)
+				}
+				backend = vfs.NewOSFS(dir)
+			} else {
+				backend = vfs.NewMemFS()
+			}
+			if err := m.Mount(s.Path, backend); err != nil {
+				return nil, err
+			}
+		}
+		return m, nil
+	}
+}

@@ -1,0 +1,206 @@
+package experiments
+
+// The tiered-storage scenario. The paper injects faults at the FUSE
+// boundary between an application and *one* storage system; production HPC
+// I/O is tiered (node-local burst buffer, scratch, campaign/output storage),
+// and a device fault lives in exactly one tier. This file sweeps the
+// Figure 7 workloads across fault placements — the same fault signature
+// armed on the whole world, on the scratch tier only, or on the output tier
+// only — and tallies outcomes per placement, answering a question the flat
+// single-mount methodology cannot: which storage tier's faults actually
+// reach the science?
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"ffis/internal/classify"
+	"ffis/internal/core"
+	"ffis/internal/vfs"
+)
+
+// TierScratch and TierOutput name the two armable storage tiers of a
+// StorageLayout; the empty tier name arms the entire world.
+const (
+	TierScratch = "scratch"
+	TierOutput  = "output"
+)
+
+// Placement is one arming choice of the tiered sweep.
+type Placement struct {
+	// Name labels the placement in reports.
+	Name string
+	// Tier selects which tier of the layout is armed; "" arms everything
+	// (the paper's flat single-device setup).
+	Tier string
+}
+
+// Placements is the standard sweep: the paper's whole-world baseline plus
+// the two single-tier placements.
+var Placements = []Placement{
+	{Name: "all-armed", Tier: ""},
+	{Name: "scratch-only", Tier: TierScratch},
+	{Name: "output-only", Tier: TierOutput},
+}
+
+// StorageLayout describes the tiered storage world of one workload: which
+// extra mounts exist and which mounts make up each tier. Every mount is
+// backed by a fresh MemFS per run, so campaigns stay hermetic.
+type StorageLayout struct {
+	// Mounts lists the mount points of the world beyond the root backend.
+	Mounts []string
+	// Tiers maps a tier name to the mount points composing it. A tier may
+	// be an idle mount the workload never writes — arming it then yields
+	// a "no injectable I/O" placement, which is itself a result: faults in
+	// that tier cannot reach this workload phase.
+	Tiers map[string][]string
+}
+
+// NewFS builds the mounted world: a MountFS with a MemFS root and a fresh
+// MemFS backend per mount. It satisfies core.Workload.NewFS.
+func (l StorageLayout) NewFS() (vfs.FS, error) {
+	m := vfs.NewMountFS(vfs.NewMemFS())
+	for _, dir := range l.Mounts {
+		if err := m.Mount(dir, vfs.NewMemFS()); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// TierLayout returns the storage layout of a Figure 7 cell, placing each
+// application's real paths onto tiers the way an HPC site would:
+//
+//   - nyx: plotfiles (/plt00000) land on the burst-buffer scratch tier;
+//     /out is the campaign-output tier, idle during the simulation phase.
+//   - MT1..MT4 (Montage): raw tiles live on the input tier (/raw),
+//     intermediate products (/proj, /diff, /corr) on scratch, and the final
+//     mosaic (/mosaic) on the output tier.
+//   - qmcpack: the scalar files are written beside the job script, so the
+//     root mount doubles as its scratch tier and /out is idle — the
+//     degenerate single-tier layout the paper's flat setup assumes.
+func TierLayout(cell string) (StorageLayout, error) {
+	switch cell {
+	case "nyx":
+		return StorageLayout{
+			Mounts: []string{"/plt00000", "/out"},
+			Tiers: map[string][]string{
+				TierScratch: {"/plt00000"},
+				TierOutput:  {"/out"},
+			},
+		}, nil
+	case "qmcpack", "qmc":
+		return StorageLayout{
+			Mounts: []string{"/out"},
+			Tiers: map[string][]string{
+				TierScratch: {"/"},
+				TierOutput:  {"/out"},
+			},
+		}, nil
+	case "MT1", "MT2", "MT3", "MT4", "mt1", "mt2", "mt3", "mt4":
+		return StorageLayout{
+			Mounts: []string{"/raw", "/proj", "/diff", "/corr", "/mosaic"},
+			Tiers: map[string][]string{
+				TierScratch: {"/proj", "/diff", "/corr"},
+				TierOutput:  {"/mosaic"},
+			},
+		}, nil
+	default:
+		return StorageLayout{}, fmt.Errorf("experiments: no tier layout for cell %q", cell)
+	}
+}
+
+// PlacementResult is one row of the tiered sweep: a workload × placement
+// campaign outcome tally.
+type PlacementResult struct {
+	Cell      string
+	Placement string
+	// ArmMounts are the mount points the injector was armed on (empty =
+	// the whole world).
+	ArmMounts []string
+	// ProfileCount is the dynamic count of the target primitive routed to
+	// the armed scope; zero when NoTargets.
+	ProfileCount int64
+	// NoTargets marks a placement whose armed tier receives none of the
+	// instrumented phase's I/O: the fault has nowhere to land, so every
+	// hypothetical run is vacuously clean.
+	NoTargets bool
+	Tally     classify.Tally
+}
+
+// TieredCells is the default workload set of the tiered sweep: two
+// genuinely multi-tier applications (Nyx and the Montage stages that write
+// to scratch and output respectively) — at least two distinct workloads as
+// the scenario requires.
+var TieredCells = []string{"nyx", "MT2", "MT4"}
+
+// Tiered sweeps the given Figure 7 cells across the fault placements and
+// returns the rendered per-placement outcome table plus the raw results.
+// Empty cells selects TieredCells.
+func Tiered(cells []string, model core.FaultModel, o Options) (string, []PlacementResult, error) {
+	o = o.normalize()
+	if len(cells) == 0 {
+		cells = TieredCells
+	}
+	var results []PlacementResult
+	for _, cell := range cells {
+		layout, err := TierLayout(cell)
+		if err != nil {
+			return "", nil, err
+		}
+		w, err := NewWorkload(cell, o)
+		if err != nil {
+			return "", nil, err
+		}
+		w.NewFS = layout.NewFS
+		for _, pl := range Placements {
+			mounts := append([]string(nil), layout.Tiers[pl.Tier]...)
+			sort.Strings(mounts)
+			pr := PlacementResult{Cell: cell, Placement: pl.Name, ArmMounts: mounts}
+			res, err := core.Campaign(core.CampaignConfig{
+				Fault:     core.Config{Model: model},
+				Runs:      o.Runs,
+				Seed:      o.Seed,
+				Workers:   o.Workers,
+				ArmMounts: mounts,
+			}, w)
+			switch {
+			case errors.Is(err, core.ErrNoTargets):
+				pr.NoTargets = true
+			case err != nil:
+				return "", nil, fmt.Errorf("tiered %s/%s: %w", cell, pl.Name, err)
+			default:
+				pr.ProfileCount = res.ProfileCount
+				pr.Tally = res.Tally
+			}
+			results = append(results, pr)
+		}
+	}
+	return RenderTiered(model, o.Runs, results), results, nil
+}
+
+// RenderTiered formats the sweep as a per-placement outcome table.
+func RenderTiered(model core.FaultModel, runs int, results []PlacementResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tiered storage: %s faults by placement (%d runs per armed cell)\n", model, runs)
+	fmt.Fprintf(&b, "%-9s %-13s %-22s %8s %7s %7s %9s %7s\n",
+		"workload", "placement", "armed mounts", "targets", "benign", "SDC", "detected", "crash")
+	for _, r := range results {
+		armed := "(entire file system)"
+		if len(r.ArmMounts) > 0 {
+			armed = strings.Join(r.ArmMounts, ",")
+		}
+		if r.NoTargets {
+			fmt.Fprintf(&b, "%-9s %-13s %-22s %8d %s\n",
+				r.Cell, r.Placement, armed, 0, "— no injectable I/O routed to this tier")
+			continue
+		}
+		fmt.Fprintf(&b, "%-9s %-13s %-22s %8d %7d %7d %9d %7d\n",
+			r.Cell, r.Placement, armed, r.ProfileCount,
+			r.Tally.Count(classify.Benign), r.Tally.Count(classify.SDC),
+			r.Tally.Count(classify.Detected), r.Tally.Count(classify.Crash))
+	}
+	return b.String()
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ffis/internal/core"
+)
+
+// TestTieredSweepTwoWorkloads is the scenario acceptance test: the sweep
+// produces a per-placement outcome table for two workloads, and placements
+// behave as the storage layout dictates — nyx writes plotfiles to scratch
+// (so scratch-only has targets and output-only has none), while Montage's
+// stage 4 writes the mosaic to the output tier (the reverse).
+func TestTieredSweepTwoWorkloads(t *testing.T) {
+	o := smallOpts()
+	out, results, err := Tiered([]string{"nyx", "MT4"}, core.DroppedWrite, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2*len(Placements) {
+		t.Fatalf("got %d placement rows; want %d", len(results), 2*len(Placements))
+	}
+	byKey := map[string]PlacementResult{}
+	for _, r := range results {
+		byKey[r.Cell+"/"+r.Placement] = r
+	}
+
+	// All-armed placements must behave like classic campaigns: every run
+	// tallied, targets available.
+	for _, cell := range []string{"nyx", "MT4"} {
+		r := byKey[cell+"/all-armed"]
+		if r.NoTargets || r.Tally.Total() != o.Runs {
+			t.Fatalf("%s all-armed: NoTargets=%v total=%d; want %d tallied runs",
+				cell, r.NoTargets, r.Tally.Total(), o.Runs)
+		}
+	}
+
+	// nyx: simulation writes route to the scratch tier only.
+	if r := byKey["nyx/scratch-only"]; r.NoTargets || r.ProfileCount == 0 {
+		t.Fatalf("nyx scratch-only should have injectable I/O: %+v", r)
+	}
+	if r := byKey["nyx/output-only"]; !r.NoTargets {
+		t.Fatalf("nyx output-only should have no injectable I/O: %+v", r)
+	}
+
+	// MT4: the mosaic stage writes to the output tier only.
+	if r := byKey["MT4/output-only"]; r.NoTargets || r.ProfileCount == 0 {
+		t.Fatalf("MT4 output-only should have injectable I/O: %+v", r)
+	}
+	if r := byKey["MT4/scratch-only"]; !r.NoTargets {
+		t.Fatalf("MT4 scratch-only should have no injectable I/O: %+v", r)
+	}
+
+	// The rendered table carries every placement row.
+	for _, want := range []string{"workload", "all-armed", "scratch-only", "output-only",
+		"nyx", "MT4", "no injectable I/O"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tiered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTieredScratchArmedMatchesAllForNyx pins the routing equivalence: for
+// a workload whose entire instrumented I/O lives on one tier, arming that
+// tier is the same experiment as arming the world — identical target
+// counts, and with the same seed an identical tally.
+func TestTieredScratchArmedMatchesAllForNyx(t *testing.T) {
+	o := smallOpts()
+	_, results, err := Tiered([]string{"nyx"}, core.BitFlip, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all, scratch PlacementResult
+	for _, r := range results {
+		switch r.Placement {
+		case "all-armed":
+			all = r
+		case "scratch-only":
+			scratch = r
+		}
+	}
+	if all.ProfileCount != scratch.ProfileCount {
+		t.Fatalf("profile counts differ: all=%d scratch=%d", all.ProfileCount, scratch.ProfileCount)
+	}
+	if all.Tally != scratch.Tally {
+		t.Fatalf("tallies differ: all=%v scratch=%v", all.Tally, scratch.Tally)
+	}
+}
+
+func TestParseMountSpec(t *testing.T) {
+	for _, tc := range []struct {
+		in      string
+		path    string
+		backend string
+		wantErr bool
+	}{
+		{in: "/scratch", path: "/scratch", backend: "mem"},
+		{in: "/scratch=mem", path: "/scratch", backend: "mem"},
+		{in: "/data=os:/tmp/x", path: "/data", backend: "os:/tmp/x"},
+		{in: "/a/b/../c", path: "/a/c", backend: "mem"},
+		{in: "relative", wantErr: true},
+		{in: "/x=floppy", wantErr: true},
+		{in: "/x=os:", wantErr: true},
+		{in: "=mem", wantErr: true},
+	} {
+		ms, err := ParseMountSpec(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseMountSpec(%q) = %+v; want error", tc.in, ms)
+			}
+			continue
+		}
+		if err != nil || ms.Path != tc.path || ms.Backend != tc.backend {
+			t.Errorf("ParseMountSpec(%q) = %+v, %v; want {%s %s}", tc.in, ms, err, tc.path, tc.backend)
+		}
+	}
+}
+
+// TestNewWorkloadWithMounts checks the cmd/ffis wiring end to end: a cell
+// on a custom mounted world, armed on one mount, still campaigns cleanly.
+func TestNewWorkloadWithMounts(t *testing.T) {
+	o := smallOpts()
+	o.Mounts = []MountSpec{{Path: "/plt00000", Backend: "mem"}}
+	o.ArmMounts = []string{"/plt00000"}
+	res, err := Fig7Cell("nyx", core.DroppedWrite, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tally.Total() != o.Runs {
+		t.Fatalf("tally total = %d; want %d", res.Tally.Total(), o.Runs)
+	}
+}

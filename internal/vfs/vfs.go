@@ -9,10 +9,20 @@
 // core.InjectorFS in package core) standing in for the FFIS instrumentation
 // inserted between the application and the store.
 //
+// Where the paper has a single FFISFS mount point over one device, MountFS
+// generalizes the boundary to tiered storage: a Unix-style mount table
+// routes each path to the backend owning the longest matching segment
+// prefix, and WithInterposed layers instrumentation over exactly one mount.
+// That is the injection-routing contract used by core's
+// CampaignConfig.ArmMounts — a fault signature armed on the burst-buffer
+// tier corrupts only the I/O routed there, while every other tier stays
+// clean.
+//
 // Everything the applications in internal/apps do to persistent state flows
 // through this interface, exactly as the paper requires transparency (R1)
 // and convenience (R2): applications never know whether they run on a bare
-// MemFS, a counting profiler, or an armed fault injector.
+// MemFS, a counting profiler, an armed fault injector, or a mount table
+// dispatching to several of each.
 package vfs
 
 import (
