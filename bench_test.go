@@ -287,7 +287,93 @@ func BenchmarkAblationAvgTolerance(b *testing.B) {
 	}
 }
 
+// --- Campaign engine vs the pre-engine sequential path -----------------------
+
+// BenchmarkFig7GridSequential is the pre-engine reference: cells run one
+// after another and every injection run rebuilds its world (NewFS + Setup)
+// from scratch. BenchmarkFig7GridEngine runs the identical grid (same seed,
+// identical tallies — TestFig7EngineMatchesSequential asserts it) on the
+// campaign engine: Setup once per cell, COW clone per run, one shared pool,
+// one profiling pass per cell. The ratio of the two ns/op numbers is the
+// engine speedup; the acceptance bar is ≥2×.
+func BenchmarkFig7GridSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig7Sequential(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7GridEngine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig7(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignCOWvsFresh isolates the world-lifecycle cost on one cell
+// with a heavyweight Setup (MT4's preamble runs the first three Montage
+// stages): the same campaign with per-run COW clones vs per-run rebuilds.
+func BenchmarkCampaignCOWvsFresh(b *testing.B) {
+	for _, fresh := range []bool{false, true} {
+		fresh := fresh
+		b.Run(map[bool]string{false: "cow", true: "fresh"}[fresh], func(b *testing.B) {
+			w := cachedWorkload(b, "MT4")
+			for i := 0; i < b.N; i++ {
+				_, err := core.Campaign(core.CampaignConfig{
+					Fault:       core.Config{Model: core.BitFlip},
+					Runs:        benchOpts().Runs,
+					Seed:        2021,
+					FreshWorlds: fresh,
+				}, w)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- Substrate microbenchmarks ------------------------------------------------
+
+// BenchmarkMemFSClone measures the COW snapshot primitive itself on a
+// Montage-sized world (raw tiles + three stages of intermediates).
+func BenchmarkMemFSClone(b *testing.B) {
+	fs := vfs.NewMemFS()
+	cfg := montage.DefaultConfig()
+	if err := cfg.WriteRawTiles(fs); err != nil {
+		b.Fatal(err)
+	}
+	if err := cfg.RunPipeline(fs, montage.StageProject, montage.StageBg); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if fs.Clone() == nil {
+			b.Fatal("nil clone")
+		}
+	}
+}
+
+// BenchmarkMountFSClone measures snapshotting a five-mount tiered world.
+func BenchmarkMountFSClone(b *testing.B) {
+	m := vfs.NewMountFS(vfs.NewMemFS())
+	for _, dir := range []string{"/raw", "/proj", "/diff", "/corr", "/mosaic"} {
+		if err := m.Mount(dir, vfs.NewMemFS()); err != nil {
+			b.Fatal(err)
+		}
+		if err := vfs.WriteFile(m, dir+"/data", make([]byte, 64<<10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Clone(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 func BenchmarkMemFSWrite4K(b *testing.B) {
 	fs := vfs.NewMemFS()

@@ -7,6 +7,12 @@
 //	experiments -fig 7 -runs 200           # the characterization, reduced
 //	experiments -fig 5 -outdir ./artifacts # writes PGM visualizations
 //	experiments -tiered -runs 200          # fault placement across storage tiers
+//	experiments -fig 7 -jobs 8 -progress   # 8-wide engine pool, streamed progress
+//
+// Campaign grids (-fig 7, -ablation, -detector-study, -tiered) run on the
+// campaign engine: each cell's Setup executes once and every injection run
+// gets a copy-on-write clone of that snapshot, with all cells drawing from
+// one bounded worker pool (-jobs).
 package main
 
 import (
@@ -27,6 +33,8 @@ func main() {
 		runs     = flag.Int("runs", 1000, "runs per Figure 7 campaign cell")
 		seed     = flag.Uint64("seed", 2021, "campaign seed")
 		workers  = flag.Int("workers", 0, "parallel runs (0 = GOMAXPROCS)")
+		jobs     = flag.Int("jobs", 0, "campaign engine pool width shared across the whole grid (0 = -workers, then GOMAXPROCS)")
+		progress = flag.Bool("progress", false, "stream per-campaign progress to stderr while grids run")
 		nyxN     = flag.Int("nyx-n", 0, "override the Nyx grid edge")
 		stride   = flag.Int("meta-stride", 1, "Table III byte stride (1 = exhaustive)")
 		useAvg   = flag.Bool("avg-detector", false, "apply the Nyx average-value method in Figure 7")
@@ -41,9 +49,13 @@ func main() {
 		Runs:           *runs,
 		Seed:           *seed,
 		Workers:        *workers,
+		Jobs:           *jobs,
 		NyxN:           *nyxN,
 		MetaStride:     *stride,
 		UseAvgDetector: *useAvg,
+	}
+	if *progress {
+		o.Progress = experiments.ProgressPrinter(os.Stderr)
 	}
 
 	die := func(err error) {

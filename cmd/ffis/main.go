@@ -46,6 +46,8 @@ func main() {
 		runs      = flag.Int("runs", 1000, "fault-injection runs (the paper uses 1000)")
 		seed      = flag.Uint64("seed", 2021, "campaign seed")
 		workers   = flag.Int("workers", 0, "parallel runs (0 = GOMAXPROCS)")
+		jobs      = flag.Int("jobs", 0, "campaign engine pool width (0 = -workers, then GOMAXPROCS)")
+		progress  = flag.Bool("progress", false, "stream campaign progress to stderr")
 		nyxN      = flag.Int("nyx-n", 0, "override the Nyx grid edge (0 = default 48)")
 		useAvg    = flag.Bool("avg-detector", false, "apply the Nyx average-value detection method")
 		asCSV     = flag.Bool("csv", false, "emit CSV instead of a table")
@@ -92,10 +94,14 @@ func main() {
 		Runs:           *runs,
 		Seed:           *seed,
 		Workers:        *workers,
+		Jobs:           *jobs,
 		NyxN:           *nyxN,
 		UseAvgDetector: *useAvg,
 		Mounts:         mounts,
 		ArmMounts:      armMounts,
+	}
+	if *progress {
+		opts.Progress = experiments.ProgressPrinter(os.Stderr)
 	}
 	if *showTrace {
 		w, err := experiments.NewWorkload(*app, opts)

@@ -184,7 +184,7 @@ func TestSweepAcrossFlipWidthsOnNyx(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	results, err := core.Sweep(core.FlipWidthSweep(), 6, 11, 0, app.Workload())
+	results, err := core.Sweep(core.FlipWidthSweep(), core.CampaignConfig{Runs: 6, Seed: 11}, app.Workload())
 	if err != nil {
 		t.Fatal(err)
 	}

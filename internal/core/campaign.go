@@ -63,6 +63,13 @@ type CampaignConfig struct {
 	// Requires Workload.NewFS to return a *vfs.MountFS. Empty arms the
 	// whole file system, the paper's flat single-device setup.
 	ArmMounts []string
+	// FreshWorlds forces a full world rebuild (NewFS + Setup) for every run
+	// instead of handing each run a copy-on-write clone of a single
+	// post-Setup snapshot — the paper's literal remount-per-run procedure.
+	// Results are identical either way (clones are bit-identical to fresh
+	// builds); this is the reference path equivalence tests and the
+	// engine-speedup benchmarks compare against.
+	FreshWorlds bool
 }
 
 // RunRecord captures a single fault-injection run.
@@ -110,15 +117,16 @@ func Profile(w Workload, sig Signature) (int64, error) {
 // counted, so the injection target space matches exactly what ArmMounts can
 // corrupt. Empty mounts profiles the whole file system.
 func ProfileMounts(w Workload, sig Signature, mounts []string) (int64, error) {
-	base, err := newWorld(w)
+	base, err := buildWorld(w)
 	if err != nil {
-		return 0, fmt.Errorf("core: profile world: %w", err)
+		return 0, err
 	}
-	if w.Setup != nil {
-		if err := w.Setup(base); err != nil {
-			return 0, fmt.Errorf("core: profile setup: %w", err)
-		}
-	}
+	return profileWorld(base, w, sig, mounts)
+}
+
+// profileWorld runs the fault-free profiling pass on an already-built
+// post-Setup world (a snapshot clone in campaign use).
+func profileWorld(base vfs.FS, w Workload, sig Signature, mounts []string) (int64, error) {
 	var counters []*vfs.CountingFS
 	counted, err := interposeMounts(base, mounts, func(inner vfs.FS) vfs.FS {
 		c := vfs.NewCountingFS(inner)
@@ -187,15 +195,16 @@ func RunOnce(w Workload, sig Signature, target int64, rng *stats.RNG) (RunRecord
 // runs on a view whose armed tiers are wrapped by the injector; outcome
 // classification runs on the clean view of the same storage.
 func RunOnceMounts(w Workload, sig Signature, target int64, rng *stats.RNG, mounts []string) (RunRecord, error) {
-	base, err := newWorld(w)
+	base, err := buildWorld(w)
 	if err != nil {
-		return RunRecord{}, fmt.Errorf("core: world: %w", err)
+		return RunRecord{}, err
 	}
-	if w.Setup != nil {
-		if err := w.Setup(base); err != nil {
-			return RunRecord{}, fmt.Errorf("core: setup: %w", err)
-		}
-	}
+	return runOnceWorld(base, w, sig, target, rng, mounts)
+}
+
+// runOnceWorld performs one injection run on an already-built pristine
+// world: arm, run, classify on the clean view.
+func runOnceWorld(base vfs.FS, w Workload, sig Signature, target int64, rng *stats.RNG, mounts []string) (RunRecord, error) {
 	inj := NewInjector(sig, target, rng)
 	armed, err := interposeMounts(base, mounts, inj.Wrap)
 	if err != nil {
@@ -218,15 +227,26 @@ func RunOnceMounts(w Workload, sig Signature, target int64, rng *stats.RNG, moun
 	}, nil
 }
 
-// Campaign executes a full statistical fault-injection campaign: profile,
-// then cfg.Runs injection runs with uniformly random targets, classified
-// against the workload's own notion of the golden output.
+// Campaign executes a full statistical fault-injection campaign: Setup runs
+// once and is snapshotted, a profiling pass on a snapshot clone counts the
+// target primitive, then cfg.Runs injection runs — each on its own cheap
+// copy-on-write clone of the post-Setup world — draw uniformly random
+// targets and are classified against the workload's own notion of the
+// golden output.
 func Campaign(cfg CampaignConfig, w Workload) (CampaignResult, error) {
 	if cfg.Runs <= 0 {
 		return CampaignResult{}, errors.New("core: campaign needs Runs > 0")
 	}
+	snap, err := newSnapshot(w, cfg.FreshWorlds)
+	if err != nil {
+		return CampaignResult{}, err
+	}
 	sig := cfg.Fault.Signature()
-	count, err := ProfileMounts(w, sig, cfg.ArmMounts)
+	world, err := snap.World()
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	count, err := profileWorld(world, w, sig, cfg.ArmMounts)
 	if err != nil {
 		return CampaignResult{}, err
 	}
@@ -241,31 +261,57 @@ func Campaign(cfg CampaignConfig, w Workload) (CampaignResult, error) {
 	if workers > cfg.Runs {
 		workers = cfg.Runs
 	}
+	sem := make(chan struct{}, workers)
+	return runInjections(cfg, w, snap, sig, count, sem, nil)
+}
 
+// runStream derives run idx's independent, reproducible RNG stream from the
+// campaign seed. Both Campaign and Engine use it, so a cell produces the
+// same per-run draws no matter which scheduler executes it or how wide the
+// worker pool is.
+func runStream(seed uint64, idx int) *stats.RNG {
+	return stats.NewRNG(seed ^ (uint64(idx)+1)*0x9e3779b97f4a7c15)
+}
+
+// runInjections executes cfg.Runs injection runs against worlds served by
+// snap, bounded by the semaphore sem — a campaign-private pool under
+// Campaign, the grid-wide shared pool under Engine. progress (optional)
+// receives the completed-run count as runs finish.
+func runInjections(cfg CampaignConfig, w Workload, snap *WorldSnapshot, sig Signature, count int64, sem chan struct{}, progress func(done int)) (CampaignResult, error) {
 	records := make([]RunRecord, cfg.Runs)
 	errs := make([]error, cfg.Runs)
 	var wg sync.WaitGroup
-	idxCh := make(chan int)
-	for i := 0; i < workers; i++ {
+	// progressMu makes increment-and-report atomic, so Done counts reach
+	// the callback in monotone order.
+	var progressMu sync.Mutex
+	done := 0
+	for idx := 0; idx < cfg.Runs; idx++ {
+		idx := idx
+		sem <- struct{}{}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for idx := range idxCh {
-				// Each run derives an independent, reproducible stream
-				// from (seed, run index).
-				rng := stats.NewRNG(cfg.Seed ^ (uint64(idx)+1)*0x9e3779b97f4a7c15)
-				target := int64(rng.Intn(int(count)))
-				rec, err := RunOnceMounts(w, sig, target, rng, cfg.ArmMounts)
-				rec.Index = idx
-				records[idx] = rec
-				errs[idx] = err
+			defer func() { <-sem }()
+			rng := runStream(cfg.Seed, idx)
+			target := rng.Int64n(count)
+			rec, err := func() (RunRecord, error) {
+				base, err := snap.World()
+				if err != nil {
+					return RunRecord{}, err
+				}
+				return runOnceWorld(base, w, sig, target, rng, cfg.ArmMounts)
+			}()
+			rec.Index = idx
+			records[idx] = rec
+			errs[idx] = err
+			if progress != nil {
+				progressMu.Lock()
+				done++
+				progress(done)
+				progressMu.Unlock()
 			}
 		}()
 	}
-	for i := 0; i < cfg.Runs; i++ {
-		idxCh <- i
-	}
-	close(idxCh)
 	wg.Wait()
 
 	res := CampaignResult{
@@ -289,19 +335,20 @@ func Campaign(cfg CampaignConfig, w Workload) (CampaignResult, error) {
 // so tiered campaigns compare against a golden run on the same mount
 // layout.
 func GoldenSnapshot(w Workload, root string) (map[string][]byte, error) {
-	fs, err := newWorld(w)
+	base, err := buildWorld(w)
 	if err != nil {
 		return nil, err
 	}
-	if w.Setup != nil {
-		if err := w.Setup(fs); err != nil {
-			return nil, err
-		}
-	}
-	if err := runRecovering(w.Run, fs); err != nil {
+	return goldenOnWorld(base, w, root)
+}
+
+// goldenOnWorld runs the workload fault-free on an already-built pristine
+// world (a snapshot clone under the engine) and snapshots root.
+func goldenOnWorld(base vfs.FS, w Workload, root string) (map[string][]byte, error) {
+	if err := runRecovering(w.Run, base); err != nil {
 		return nil, fmt.Errorf("core: golden run failed: %w", err)
 	}
-	return Snapshot(fs, root)
+	return Snapshot(base, root)
 }
 
 // Snapshot reads every file under root into a path→content map.

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+)
+
+// CampaignSpec is one cell of an Engine grid: a workload under one fault
+// configuration (cell × model × placement in the Figure 7 + tiered
+// vocabulary).
+type CampaignSpec struct {
+	// Key uniquely labels the cell in results and progress events, e.g.
+	// "nyx/bf/scratch-only".
+	Key string
+	// WorldKey groups specs that share a storage world for memoization:
+	// specs with equal WorldKeys run on clones of ONE post-Setup snapshot
+	// and share profile counts and golden snapshots, so they must have
+	// identical NewFS and Setup (Run/Classify may differ — e.g. the Nyx
+	// with/without-average-detector pair). Empty defaults to Workload.Name,
+	// which is only safe while every same-named spec builds the same world;
+	// grids mixing flat and tiered variants of one application must set it.
+	WorldKey string
+	Workload Workload
+	// Config drives the campaign. Workers is ignored: the engine's shared
+	// pool (Engine.Jobs) bounds parallelism across the whole grid.
+	Config CampaignConfig
+}
+
+func (s CampaignSpec) worldKey() string {
+	if s.WorldKey != "" {
+		return s.WorldKey
+	}
+	return s.Workload.Name
+}
+
+// GridResult pairs a spec with its campaign outcome. Err is ErrNoTargets
+// (test with errors.Is) when the armed scope receives none of the
+// workload's I/O.
+type GridResult struct {
+	Spec   CampaignSpec
+	Result CampaignResult
+	Err    error
+}
+
+// EngineEvent is one item of the engine's progress/result stream.
+type EngineEvent struct {
+	// Key names the campaign the event belongs to.
+	Key string
+	// Done and Total count completed vs scheduled injection runs.
+	Done, Total int
+	// Result is non-nil exactly once per campaign, on its completion event.
+	Result *CampaignResult
+	// Err is the campaign's terminal error, delivered with the final event.
+	Err error
+}
+
+// Engine schedules a grid of fault-injection campaigns over one shared
+// bounded worker pool. This is the statistical-scale substrate the paper's
+// methodology implies (1,000 runs × cells × models) and the ROADMAP's
+// "fast as the hardware allows" demands: Setup executes once per world (not
+// once per run), every injection run receives a copy-on-write clone of the
+// post-Setup snapshot, profile counts and golden snapshots are memoized by
+// (world, mounts) key across cells, and all runs of all campaigns share one
+// pool so the grid saturates the machine regardless of how unevenly cells
+// are sized.
+//
+// Determinism: each run's RNG stream is derived purely from the campaign
+// seed and the run index (runStream), and results are reported in spec
+// order, so grid results are independent of Jobs, scheduling interleavings,
+// and the order specs are submitted in.
+type Engine struct {
+	// Jobs bounds concurrently executing work items (setup/profile passes
+	// and injection runs) across the whole grid; <= 0 selects GOMAXPROCS.
+	Jobs int
+	// Progress, when set, receives the event stream. Events for different
+	// campaigns interleave, but delivery is serialized — the callback never
+	// runs concurrently with itself.
+	Progress func(EngineEvent)
+
+	mu       sync.Mutex
+	emitMu   sync.Mutex
+	prepared map[string]*enginePrep
+}
+
+// enginePrep is the per-world memoization record: the snapshots (one per
+// world mode, so a FreshWorlds reference spec never poisons its COW
+// siblings or vice versa) plus profile counts and golden snapshots keyed
+// within it.
+type enginePrep struct {
+	w Workload // the workload that builds this world (first spec wins)
+
+	mu       sync.Mutex
+	snaps    [2]*snapMemo // indexed by the FreshWorlds flag
+	profiles map[string]*profileMemo
+	goldens  map[string]*goldenMemo
+}
+
+type snapMemo struct {
+	once sync.Once
+	snap *WorldSnapshot
+	err  error
+}
+
+type profileMemo struct {
+	once  sync.Once
+	count int64
+	err   error
+}
+
+type goldenMemo struct {
+	once sync.Once
+	snap map[string][]byte
+	err  error
+}
+
+func (e *Engine) jobs() int {
+	if e.Jobs > 0 {
+		return e.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (e *Engine) emit(ev EngineEvent) {
+	if e.Progress == nil {
+		return
+	}
+	e.emitMu.Lock()
+	defer e.emitMu.Unlock()
+	e.Progress(ev)
+}
+
+// prep returns (creating on first use) the memoization record for key.
+func (e *Engine) prep(key string, w Workload) *enginePrep {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.prepared == nil {
+		e.prepared = map[string]*enginePrep{}
+	}
+	p, ok := e.prepared[key]
+	if !ok {
+		p = &enginePrep{w: w, profiles: map[string]*profileMemo{}, goldens: map[string]*goldenMemo{}}
+		e.prepared[key] = p
+	}
+	return p
+}
+
+// snapshot builds (once per world key and mode) the post-Setup snapshot.
+func (p *enginePrep) snapshot(fresh bool) (*WorldSnapshot, error) {
+	idx := 0
+	if fresh {
+		idx = 1
+	}
+	p.mu.Lock()
+	m := p.snaps[idx]
+	if m == nil {
+		m = &snapMemo{}
+		p.snaps[idx] = m
+	}
+	p.mu.Unlock()
+	m.once.Do(func() {
+		m.snap, m.err = newSnapshot(p.w, fresh)
+	})
+	return m.snap, m.err
+}
+
+// profileKey distinguishes profile counts within one world: the count
+// depends on the target primitive, the armed mounts, and the world mode —
+// not the fault model's mutation details.
+func profileKey(sig Signature, mounts []string, fresh bool) string {
+	key := string(sig.Primitive) + "\x00" + strings.Join(mounts, "\x00")
+	if fresh {
+		key += "\x00fresh"
+	}
+	return key
+}
+
+// profileCount memoizes the fault-free profiling pass by (primitive,
+// mounts) within the world. Three fault models targeting the write
+// primitive on the same world cost one profiling run, not three.
+func (p *enginePrep) profileCount(sig Signature, mounts []string, fresh bool) (int64, error) {
+	snap, err := p.snapshot(fresh)
+	if err != nil {
+		return 0, err
+	}
+	key := profileKey(sig, mounts, fresh)
+	p.mu.Lock()
+	m, ok := p.profiles[key]
+	if !ok {
+		m = &profileMemo{}
+		p.profiles[key] = m
+	}
+	p.mu.Unlock()
+	m.once.Do(func() {
+		world, err := snap.World()
+		if err != nil {
+			m.err = err
+			return
+		}
+		m.count, m.err = profileWorld(world, p.w, sig, mounts)
+	})
+	return m.count, m.err
+}
+
+// GoldenSnapshot returns the memoized fault-free output snapshot of the
+// spec's world under root: the golden run executes once per (world, root)
+// across the entire grid. Specs sharing a WorldKey share the result.
+func (e *Engine) GoldenSnapshot(spec CampaignSpec, root string) (map[string][]byte, error) {
+	p := e.prep(spec.worldKey(), spec.Workload)
+	snap, err := p.snapshot(spec.Config.FreshWorlds)
+	if err != nil {
+		return nil, err
+	}
+	key := root
+	if spec.Config.FreshWorlds {
+		key += "\x00fresh"
+	}
+	p.mu.Lock()
+	m, ok := p.goldens[key]
+	if !ok {
+		m = &goldenMemo{}
+		p.goldens[key] = m
+	}
+	p.mu.Unlock()
+	m.once.Do(func() {
+		world, err := snap.World()
+		if err != nil {
+			m.err = err
+			return
+		}
+		m.snap, m.err = goldenOnWorld(world, p.w, root)
+	})
+	return m.snap, m.err
+}
+
+// Run executes every spec of the grid and returns results in spec order.
+// Campaign failures are reported per cell in GridResult.Err; the grid keeps
+// going, so one starved placement (ErrNoTargets) does not abort the sweep.
+func (e *Engine) Run(specs []CampaignSpec) []GridResult {
+	sem := make(chan struct{}, e.jobs())
+	out := make([]GridResult, len(specs))
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		i, spec := i, spec
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := e.runSpec(spec, sem)
+			out[i] = GridResult{Spec: spec, Result: res, Err: err}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// runSpec runs one campaign cell on the shared pool.
+func (e *Engine) runSpec(spec CampaignSpec, sem chan struct{}) (CampaignResult, error) {
+	cfg := spec.Config
+	if cfg.Runs <= 0 {
+		err := errors.New("core: campaign needs Runs > 0")
+		e.emit(EngineEvent{Key: spec.Key, Err: err})
+		return CampaignResult{}, err
+	}
+	sig := cfg.Fault.Signature()
+	p := e.prep(spec.worldKey(), spec.Workload)
+
+	// Preparation (world build + profiling run) is real work: it occupies a
+	// pool slot like any injection run.
+	sem <- struct{}{}
+	count, err := p.profileCount(sig, cfg.ArmMounts, cfg.FreshWorlds)
+	<-sem
+	if err != nil {
+		e.emit(EngineEvent{Key: spec.Key, Total: cfg.Runs, Err: err})
+		return CampaignResult{}, err
+	}
+	if count == 0 {
+		e.emit(EngineEvent{Key: spec.Key, Total: cfg.Runs, Err: ErrNoTargets})
+		return CampaignResult{Workload: spec.Workload.Name, Signature: sig}, ErrNoTargets
+	}
+	snap, err := p.snapshot(cfg.FreshWorlds)
+	if err != nil {
+		e.emit(EngineEvent{Key: spec.Key, Total: cfg.Runs, Err: err})
+		return CampaignResult{}, err
+	}
+
+	var progress func(int)
+	if e.Progress != nil {
+		progress = func(done int) {
+			if done < cfg.Runs { // the completion event carries the result
+				e.emit(EngineEvent{Key: spec.Key, Done: done, Total: cfg.Runs})
+			}
+		}
+	}
+	res, err := runInjections(cfg, spec.Workload, snap, sig, count, sem, progress)
+	if err != nil {
+		e.emit(EngineEvent{Key: spec.Key, Done: cfg.Runs, Total: cfg.Runs, Err: err})
+		return res, err
+	}
+	e.emit(EngineEvent{Key: spec.Key, Done: cfg.Runs, Total: cfg.Runs, Result: &res})
+	return res, nil
+}

@@ -1,0 +1,427 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ffis/internal/vfs"
+)
+
+// requireSameResult asserts two campaign results are bit-for-bit the same
+// observation: identical profile counts, tallies, and per-run records
+// (target draw, outcome, fired flag, and the full Mutation).
+func requireSameResult(t *testing.T, label string, a, b CampaignResult) {
+	t.Helper()
+	if a.ProfileCount != b.ProfileCount {
+		t.Fatalf("%s: profile count %d vs %d", label, a.ProfileCount, b.ProfileCount)
+	}
+	if a.Tally != b.Tally {
+		t.Fatalf("%s: tally %s vs %s", label, a.Tally.String(), b.Tally.String())
+	}
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("%s: %d vs %d records", label, len(a.Records), len(b.Records))
+	}
+	for i := range a.Records {
+		ra, rb := a.Records[i], b.Records[i]
+		if ra.Index != rb.Index || ra.Target != rb.Target || ra.Outcome != rb.Outcome || ra.Fired != rb.Fired {
+			t.Fatalf("%s: run %d diverged: %+v vs %+v", label, i, ra, rb)
+		}
+		if ra.Mutation != rb.Mutation {
+			t.Fatalf("%s: run %d mutation diverged:\n  %s\n  %s", label, i, ra.Mutation, rb.Mutation)
+		}
+	}
+}
+
+// TestCampaignDeterminismHarness is the table-driven determinism contract:
+// for every fault model, on both a flat and a tiered (mount-armed) world,
+// the same seed must produce identical tallies and identical per-run
+// Mutation records whether runs execute serially or on eight workers — and
+// whether worlds are COW clones or full per-run rebuilds.
+func TestCampaignDeterminismHarness(t *testing.T) {
+	type tc struct {
+		name      string
+		workload  func() Workload
+		armMounts []string
+	}
+	cases := []tc{
+		{name: "flat", workload: toyWorkload},
+		{name: "tiered-scratch", workload: tieredWorkload, armMounts: []string{"/scratch"}},
+	}
+	for _, c := range cases {
+		for _, model := range Models() {
+			c, model := c, model
+			t.Run(fmt.Sprintf("%s/%s", c.name, model.Short()), func(t *testing.T) {
+				run := func(workers int, fresh bool) CampaignResult {
+					res, err := Campaign(CampaignConfig{
+						Fault:       Config{Model: model},
+						Runs:        24,
+						Seed:        4242,
+						Workers:     workers,
+						ArmMounts:   c.armMounts,
+						FreshWorlds: fresh,
+					}, c.workload())
+					if err != nil {
+						t.Fatal(err)
+					}
+					return res
+				}
+				serial := run(1, false)
+				parallel := run(8, false)
+				requireSameResult(t, "workers 1 vs 8", serial, parallel)
+				rebuilt := run(8, true)
+				requireSameResult(t, "COW vs fresh worlds", serial, rebuilt)
+			})
+		}
+	}
+}
+
+// gridSpecs builds a small heterogeneous grid: two worlds × three models.
+func gridSpecs(runs int) []CampaignSpec {
+	var specs []CampaignSpec
+	for _, w := range []Workload{toyWorkload(), tieredWorkload()} {
+		for _, model := range Models() {
+			var arm []string
+			if w.NewFS != nil {
+				arm = []string{"/scratch"}
+			}
+			specs = append(specs, CampaignSpec{
+				Key:      w.Name + "/" + model.Short(),
+				Workload: w,
+				Config: CampaignConfig{
+					Fault:     Config{Model: model},
+					Runs:      runs,
+					Seed:      7,
+					ArmMounts: arm,
+				},
+			})
+		}
+	}
+	return specs
+}
+
+// TestEngineOrderIndependence asserts grid results depend only on the specs
+// themselves: reversing submission order and changing the pool width must
+// reproduce every cell bit-for-bit.
+func TestEngineOrderIndependence(t *testing.T) {
+	specs := gridSpecs(16)
+	byKey := func(results []GridResult) map[string]CampaignResult {
+		out := map[string]CampaignResult{}
+		for _, r := range results {
+			if r.Err != nil {
+				t.Fatalf("%s: %v", r.Spec.Key, r.Err)
+			}
+			out[r.Spec.Key] = r.Result
+		}
+		return out
+	}
+	base := byKey((&Engine{Jobs: 4}).Run(specs))
+
+	reversed := make([]CampaignSpec, len(specs))
+	for i, s := range specs {
+		reversed[len(specs)-1-i] = s
+	}
+	for _, jobs := range []int{1, 3, 8} {
+		got := byKey((&Engine{Jobs: jobs}).Run(reversed))
+		if len(got) != len(base) {
+			t.Fatalf("jobs=%d: %d cells, want %d", jobs, len(got), len(base))
+		}
+		for key, want := range base {
+			requireSameResult(t, fmt.Sprintf("jobs=%d %s", jobs, key), want, got[key])
+		}
+	}
+}
+
+// TestEngineMatchesCampaign pins the engine to the standalone Campaign
+// path: one spec through the grid scheduler equals a direct Campaign call
+// under the same seed.
+func TestEngineMatchesCampaign(t *testing.T) {
+	cfg := CampaignConfig{Fault: Config{Model: BitFlip}, Runs: 20, Seed: 99}
+	direct, err := Campaign(cfg, toyWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := (&Engine{Jobs: 2}).Run([]CampaignSpec{{Key: "solo", Workload: toyWorkload(), Config: cfg}})
+	if grid[0].Err != nil {
+		t.Fatal(grid[0].Err)
+	}
+	requireSameResult(t, "engine vs campaign", direct, grid[0].Result)
+}
+
+// TestEngineMixedWorldModes pins the memoization boundary: specs sharing a
+// WorldKey but differing in FreshWorlds each get their own world mode (the
+// reference spec really rebuilds per run, the other really clones) and
+// still produce identical results under the same seed.
+func TestEngineMixedWorldModes(t *testing.T) {
+	cfg := CampaignConfig{Fault: Config{Model: BitFlip}, Runs: 12, Seed: 3}
+	fresh := cfg
+	fresh.FreshWorlds = true
+	grid := (&Engine{Jobs: 2}).Run([]CampaignSpec{
+		{Key: "cow", WorldKey: "shared", Workload: toyWorkload(), Config: cfg},
+		{Key: "fresh", WorldKey: "shared", Workload: toyWorkload(), Config: fresh},
+	})
+	for _, r := range grid {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Spec.Key, r.Err)
+		}
+	}
+	requireSameResult(t, "cow vs fresh under one WorldKey", grid[0].Result, grid[1].Result)
+}
+
+// TestEngineMemoizesWorldAndProfile counts Setup and Run executions: three
+// fault models sharing a WorldKey must trigger exactly one Setup (the COW
+// snapshot) and one profiling Run — the rest of the Run calls are the
+// injection runs themselves.
+func TestEngineMemoizesWorldAndProfile(t *testing.T) {
+	var setups, runs atomic.Int64
+	golden := []byte("engine memoization probe")
+	w := Workload{
+		Name: "memo",
+		Setup: func(fs vfs.FS) error {
+			setups.Add(1)
+			return fs.MkdirAll("/out")
+		},
+		Run: func(fs vfs.FS) error {
+			runs.Add(1)
+			return vfs.WriteFile(fs, "/out/data", golden)
+		},
+	}
+	const runsPerSpec = 10
+	var specs []CampaignSpec
+	for _, model := range Models() {
+		specs = append(specs, CampaignSpec{
+			Key:      "memo/" + model.Short(),
+			WorldKey: "memo-world",
+			Workload: w,
+			Config:   CampaignConfig{Fault: Config{Model: model}, Runs: runsPerSpec, Seed: 1},
+		})
+	}
+	for _, r := range (&Engine{Jobs: 4}).Run(specs) {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Spec.Key, r.Err)
+		}
+		if r.Result.Tally.Total() != runsPerSpec {
+			t.Fatalf("%s: tally %d", r.Spec.Key, r.Result.Tally.Total())
+		}
+	}
+	if got := setups.Load(); got != 1 {
+		t.Fatalf("Setup executed %d times, want 1 (COW snapshot not shared)", got)
+	}
+	// One shared profiling pass (all three models target the write
+	// primitive) plus the injection runs.
+	if got, want := runs.Load(), int64(1+len(specs)*runsPerSpec); got != want {
+		t.Fatalf("Run executed %d times, want %d (profile not memoized)", got, want)
+	}
+}
+
+// TestEngineGoldenSnapshotMemoized asserts the golden run executes once per
+// (world, root) and matches the standalone GoldenSnapshot helper.
+func TestEngineGoldenSnapshotMemoized(t *testing.T) {
+	var runs atomic.Int64
+	w := toyWorkload()
+	inner := w.Run
+	w.Run = func(fs vfs.FS) error { runs.Add(1); return inner(fs) }
+	want, err := GoldenSnapshot(toyWorkload(), "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e := &Engine{Jobs: 2}
+	spec := CampaignSpec{Key: "toy/golden", WorldKey: "toy-golden", Workload: w}
+	var snaps []map[string][]byte
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := e.GoldenSnapshot(spec, "/")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			snaps = append(snaps, got)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("golden run executed %d times, want 1", got)
+	}
+	for _, got := range snaps {
+		if len(got) != len(want) {
+			t.Fatalf("golden snapshot size %d, want %d", len(got), len(want))
+		}
+		for p, data := range want {
+			if string(got[p]) != string(data) {
+				t.Fatalf("golden mismatch at %s", p)
+			}
+		}
+	}
+}
+
+// TestEngineNoTargetsDoesNotAbortGrid mirrors the tiered sweep's starved
+// placement: a cell armed on an idle tier reports ErrNoTargets while its
+// siblings complete normally.
+func TestEngineNoTargetsDoesNotAbortGrid(t *testing.T) {
+	w := tieredWorkload()
+	specs := []CampaignSpec{
+		{Key: "live", WorldKey: "tt", Workload: w,
+			Config: CampaignConfig{Fault: Config{Model: BitFlip}, Runs: 6, Seed: 5, ArmMounts: []string{"/scratch"}}},
+		{Key: "starved", WorldKey: "tt", Workload: w,
+			Config: CampaignConfig{Fault: Config{Model: BitFlip}, Runs: 6, Seed: 5, ArmMounts: []string{"/input"}}},
+	}
+	results := (&Engine{Jobs: 2}).Run(specs)
+	if results[0].Err != nil {
+		t.Fatalf("live cell: %v", results[0].Err)
+	}
+	if results[0].Result.Tally.Total() != 6 {
+		t.Fatalf("live cell tally %d", results[0].Result.Tally.Total())
+	}
+	if !errors.Is(results[1].Err, ErrNoTargets) {
+		t.Fatalf("starved cell err = %v, want ErrNoTargets", results[1].Err)
+	}
+}
+
+// TestEngineProgressStream checks the event stream: monotone per-campaign
+// Done counts, one terminal event per campaign carrying the result, totals
+// matching Runs.
+func TestEngineProgressStream(t *testing.T) {
+	var events []EngineEvent
+	e := &Engine{Jobs: 3, Progress: func(ev EngineEvent) { events = append(events, ev) }}
+	specs := gridSpecs(8)
+	results := e.Run(specs)
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Spec.Key, r.Err)
+		}
+	}
+	lastDone := map[string]int{}
+	finals := map[string]*CampaignResult{}
+	for _, ev := range events {
+		if ev.Total != 8 {
+			t.Fatalf("event total %d, want 8", ev.Total)
+		}
+		if ev.Done < lastDone[ev.Key] {
+			t.Fatalf("%s: Done went backwards (%d after %d)", ev.Key, ev.Done, lastDone[ev.Key])
+		}
+		lastDone[ev.Key] = ev.Done
+		if ev.Result != nil {
+			if finals[ev.Key] != nil {
+				t.Fatalf("%s: two terminal events", ev.Key)
+			}
+			finals[ev.Key] = ev.Result
+		}
+	}
+	for _, s := range specs {
+		res := finals[s.Key]
+		if res == nil {
+			t.Fatalf("%s: no terminal event", s.Key)
+		}
+		if res.Tally.Total() != 8 {
+			t.Fatalf("%s: terminal tally %d", s.Key, res.Tally.Total())
+		}
+	}
+}
+
+// TestWorldSnapshotModes pins the snapshot fallback logic: clonable worlds
+// report COW and serve clones; a world with an unclonable backend degrades
+// to rebuild-per-run without error.
+func TestWorldSnapshotModes(t *testing.T) {
+	snap, err := NewWorldSnapshot(toyWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.COW() {
+		t.Fatal("MemFS world should snapshot as COW")
+	}
+	if snap.Pristine() == nil {
+		t.Fatal("COW snapshot should expose its pristine world")
+	}
+
+	var setups atomic.Int64
+	unclonable := Workload{
+		Name: "os-backed",
+		NewFS: func() (vfs.FS, error) {
+			m := vfs.NewMountFS(vfs.NewMemFS())
+			if err := m.Mount("/host", plainFS{vfs.NewMemFS()}); err != nil {
+				return nil, err
+			}
+			return m, nil
+		},
+		Setup: func(fs vfs.FS) error { setups.Add(1); return nil },
+		Run:   func(fs vfs.FS) error { return vfs.WriteFile(fs, "/f", []byte("x")) },
+	}
+	snap, err = NewWorldSnapshot(unclonable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.COW() {
+		t.Fatal("unclonable backend should force rebuild mode")
+	}
+	if snap.Pristine() != nil {
+		t.Fatal("rebuild mode has no pristine world")
+	}
+	worlds := map[vfs.FS]bool{}
+	for i := 0; i < 3; i++ {
+		w, err := snap.World()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if worlds[w] {
+			t.Fatal("rebuild mode handed out the same world twice")
+		}
+		worlds[w] = true
+	}
+	// One Setup per world, including the clonability-probe build the first
+	// World() call recycles — no wasted rebuilds.
+	if got := setups.Load(); got != 3 {
+		t.Fatalf("Setup ran %d times for 3 worlds, want 3", got)
+	}
+}
+
+// plainFS hides MemFS's Cloner implementation, standing in for an OSFS-like
+// backend.
+type plainFS struct{ vfs.FS }
+
+// TestSweepPlumbsArmMounts is the regression test for the tiered-ablation
+// fix: a sweep over a mounted world must profile (and inject) only the I/O
+// routed to the armed tier, not the whole flat world.
+func TestSweepPlumbsArmMounts(t *testing.T) {
+	w := tieredWorkload()
+	sig := Config{Model: BitFlip}.Signature()
+	armed, err := ProfileMounts(w, sig, []string{"/scratch"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole, err := ProfileMounts(w, sig, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if armed == 0 || armed >= whole {
+		t.Fatalf("scratch tier profile %d should be a proper nonzero subset of the whole world's %d", armed, whole)
+	}
+
+	results, err := Sweep(FlipWidthSweep(), CampaignConfig{
+		Runs:      6,
+		Seed:      2,
+		ArmMounts: []string{"/scratch"},
+	}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.ProfileCount != armed {
+			t.Fatalf("%s: profile count %d — sweep dropped ArmMounts (whole world would be %d)",
+				r.Workload, r.ProfileCount, whole)
+		}
+		for _, rec := range r.Records {
+			if rec.Fired && rec.Mutation.Path != "/scratch/mid.dat" {
+				t.Fatalf("%s: fault fired outside the armed tier: %s", r.Workload, rec.Mutation)
+			}
+		}
+	}
+}

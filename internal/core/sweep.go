@@ -18,15 +18,15 @@ type SweepPoint struct {
 // Sweep runs the same workload under a series of fault configurations —
 // the mechanism behind the ablation studies (2-bit vs 4-bit flips,
 // 3/8 vs 7/8 shorn fraction) the paper touches in footnote 3 and Table I.
-func Sweep(points []SweepPoint, runs int, seed uint64, workers int, w Workload) ([]CampaignResult, error) {
+// Every field of base except Fault is honored per point — in particular
+// ArmMounts, so a sweep over a tiered world keeps its fault placement
+// instead of silently degrading to the flat whole-world arming.
+func Sweep(points []SweepPoint, base CampaignConfig, w Workload) ([]CampaignResult, error) {
 	out := make([]CampaignResult, 0, len(points))
 	for _, pt := range points {
-		res, err := Campaign(CampaignConfig{
-			Fault:   pt.Fault,
-			Runs:    runs,
-			Seed:    seed,
-			Workers: workers,
-		}, w)
+		cfg := base
+		cfg.Fault = pt.Fault
+		res, err := Campaign(cfg, w)
 		if err != nil {
 			return nil, fmt.Errorf("core: sweep point %q: %w", pt.Label, err)
 		}

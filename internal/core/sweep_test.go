@@ -14,7 +14,7 @@ func TestSweepRunsAllPoints(t *testing.T) {
 	if len(pts) != 4 {
 		t.Fatalf("points = %d", len(pts))
 	}
-	results, err := Sweep(pts, 8, 7, 0, toyWorkload())
+	results, err := Sweep(pts, CampaignConfig{Runs: 8, Seed: 7}, toyWorkload())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +40,7 @@ func TestShornFractionSweepMonotonicity(t *testing.T) {
 	// workload (uniform pattern, stale remnant equals fresh data) all
 	// fractions are benign — the point is that the sweep runs and labels
 	// correctly.
-	results, err := Sweep(ShornFractionSweep(), 6, 3, 0, toyWorkload())
+	results, err := Sweep(ShornFractionSweep(), CampaignConfig{Runs: 6, Seed: 3}, toyWorkload())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,65 +10,92 @@ import (
 
 // Ablations runs the design-choice sweeps DESIGN.md calls out — flip width
 // (paper footnote 3) on Nyx and shorn keep-fraction (Table I's two
-// variants) on QMCPACK — and renders one table per sweep.
+// variants) on QMCPACK — as one engine grid and renders one table per
+// sweep. Options.ArmMounts carries through to every sweep point, so a
+// tiered world keeps its fault placement instead of silently degrading to
+// the flat whole-world arming.
 func Ablations(o Options) (string, error) {
 	o = o.normalize()
-	var b strings.Builder
-
 	nyxW, err := NewWorkload("nyx", o)
 	if err != nil {
 		return "", err
 	}
-	flips, err := core.Sweep(core.FlipWidthSweep(), o.Runs, o.Seed, o.Workers, nyxW)
-	if err != nil {
-		return "", err
-	}
-	b.WriteString(renderSweep("Ablation: bit-flip width on Nyx (footnote 3: SDC stays minimal)", flips))
-	b.WriteString("\n")
-
 	qmcW, err := NewWorkload("qmcpack", o)
 	if err != nil {
 		return "", err
 	}
-	shorn, err := core.Sweep(core.ShornFractionSweep(), o.Runs, o.Seed, o.Workers, qmcW)
-	if err != nil {
-		return "", err
-	}
-	b.WriteString(renderSweep("Ablation: shorn-write keep fraction on QMCPACK (Table I: 3/8 vs 7/8)", shorn))
-	return b.String(), nil
-}
 
-func renderSweep(title string, results []core.CampaignResult) string {
-	cells := make([]classify.Cell, len(results))
-	for i, r := range results {
-		cells[i] = classify.Cell{Label: r.Workload, Tally: r.Tally}
+	spec := func(w core.Workload, pt core.SweepPoint) core.CampaignSpec {
+		return core.CampaignSpec{
+			Key:      w.Name + "/" + pt.Label,
+			WorldKey: w.Name,
+			Workload: w,
+			Config: core.CampaignConfig{
+				Fault:     pt.Fault,
+				Runs:      o.Runs,
+				Seed:      o.Seed,
+				ArmMounts: o.ArmMounts,
+			},
+		}
 	}
-	return classify.Table(title, cells)
+	flips := core.FlipWidthSweep()
+	shorn := core.ShornFractionSweep()
+	var specs []core.CampaignSpec
+	for _, pt := range flips {
+		specs = append(specs, spec(nyxW, pt))
+	}
+	for _, pt := range shorn {
+		specs = append(specs, spec(qmcW, pt))
+	}
+
+	grid := o.engine().Run(specs)
+	cells := make([]classify.Cell, len(grid))
+	for i, r := range grid {
+		if r.Err != nil {
+			return "", fmt.Errorf("ablation %s: %w", r.Spec.Key, r.Err)
+		}
+		cells[i] = classify.Cell{Label: r.Spec.Key, Tally: r.Result.Tally}
+	}
+
+	var b strings.Builder
+	b.WriteString(classify.Table("Ablation: bit-flip width on Nyx (footnote 3: SDC stays minimal)", cells[:len(flips)]))
+	b.WriteString("\n")
+	b.WriteString(classify.Table("Ablation: shorn-write keep fraction on QMCPACK (Table I: 3/8 vs 7/8)", cells[len(flips):]))
+	return b.String(), nil
 }
 
 // Fig7WithDetector runs the Nyx column of Figure 7 twice — without and
 // with the average-value method — rendering the paper's headline claim
 // that "all SDC cases with Nyx will be changed to detected cases after
-// using the average-value-based method".
+// using the average-value-based method". Both variants share one WorldKey:
+// their worlds and I/O are identical (only Classify differs), so the engine
+// snapshots and profiles Nyx once for all six campaigns.
 func Fig7WithDetector(o Options) (string, error) {
 	o = o.normalize()
-	var cells []classify.Cell
+	var specs []core.CampaignSpec
 	for _, useAvg := range []bool{false, true} {
 		opts := o
 		opts.UseAvgDetector = useAvg
+		w, err := NewWorkload("nyx", opts)
+		if err != nil {
+			return "", err
+		}
 		suffix := ""
 		if useAvg {
 			suffix = "+avg"
 		}
 		for _, model := range core.Models() {
-			res, err := Fig7Cell("nyx", model, opts)
-			if err != nil {
-				return "", err
-			}
-			cell := res.Cell()
-			cell.Label += suffix
-			cells = append(cells, cell)
+			s := fig7Spec("nyx", w, model, opts)
+			s.Key += suffix
+			specs = append(specs, s)
 		}
+	}
+	var cells []classify.Cell
+	for _, r := range o.engine().Run(specs) {
+		if r.Err != nil {
+			return "", fmt.Errorf("detector study %s: %w", r.Spec.Key, r.Err)
+		}
+		cells = append(cells, classify.Cell{Label: r.Spec.Key, Tally: r.Result.Tally})
 	}
 	out := classify.Table(
 		fmt.Sprintf("Nyx outcome spectrum without vs with the average-value method (%d runs per cell)", o.Runs),

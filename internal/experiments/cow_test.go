@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"ffis/internal/core"
+	"ffis/internal/vfs"
+)
+
+// cowCells covers all three applications: Nyx, QMCPACK, and Montage (MT2,
+// a stage with a real multi-stage Setup preamble).
+var cowCells = []string{"nyx", "qmcpack", "MT2"}
+
+// freshWorld builds a workload's world the pre-snapshot way: NewFS (or a
+// bare MemFS) plus a Setup execution.
+func freshWorld(t *testing.T, w core.Workload) vfs.FS {
+	t.Helper()
+	fs := vfs.FS(vfs.NewMemFS())
+	if w.NewFS != nil {
+		var err error
+		fs, err = w.NewFS()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Setup != nil {
+		if err := w.Setup(fs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return fs
+}
+
+func diffSnapshots(t *testing.T, label string, want, got map[string][]byte) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d files vs %d files", label, len(want), len(got))
+	}
+	for p, data := range want {
+		other, ok := got[p]
+		if !ok {
+			t.Fatalf("%s: missing %s", label, p)
+		}
+		if !bytes.Equal(data, other) {
+			t.Fatalf("%s: %s differs (%d vs %d bytes)", label, p, len(data), len(other))
+		}
+	}
+}
+
+// TestClonedWorldsBitIdenticalToFresh is the COW equivalence guarantee the
+// campaign engine rests on: for every application, a clone of the
+// post-Setup snapshot is bit-identical (full snapshot diff over "/") to a
+// world built from scratch — both before and after executing the
+// application on it.
+func TestClonedWorldsBitIdenticalToFresh(t *testing.T) {
+	o := smallOpts()
+	for _, cell := range cowCells {
+		cell := cell
+		t.Run(cell, func(t *testing.T) {
+			w, err := NewWorkload(cell, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			snap, err := core.NewWorldSnapshot(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !snap.COW() {
+				t.Fatalf("%s world should support COW cloning", cell)
+			}
+			fresh, err := core.Snapshot(freshWorld(t, w), "/")
+			if err != nil {
+				t.Fatal(err)
+			}
+			clone, err := snap.World()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cloneSnap, err := core.Snapshot(clone, "/")
+			if err != nil {
+				t.Fatal(err)
+			}
+			diffSnapshots(t, "post-setup clone vs fresh", fresh, cloneSnap)
+
+			// Run the application on both and compare the final state too.
+			freshRun := freshWorld(t, w)
+			if err := w.Run(freshRun); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Run(clone); err != nil {
+				t.Fatal(err)
+			}
+			wantRun, err := core.Snapshot(freshRun, "/")
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotRun, err := core.Snapshot(clone, "/")
+			if err != nil {
+				t.Fatal(err)
+			}
+			diffSnapshots(t, "post-run clone vs fresh", wantRun, gotRun)
+		})
+	}
+}
+
+// TestCloneMutationsNeverLeak runs the application inside one clone and
+// asserts neither a sibling clone nor the pristine snapshot observes a
+// single byte of it — for all three applications, including the tiered
+// mount layouts.
+func TestCloneMutationsNeverLeak(t *testing.T) {
+	o := smallOpts()
+	for _, cell := range cowCells {
+		for _, tiered := range []bool{false, true} {
+			cell, tiered := cell, tiered
+			name := cell
+			if tiered {
+				name += "@tiered"
+			}
+			t.Run(name, func(t *testing.T) {
+				w, err := NewWorkload(cell, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if tiered {
+					layout, err := TierLayout(cell)
+					if err != nil {
+						t.Fatal(err)
+					}
+					w.NewFS = layout.NewFS
+				}
+				snap, err := core.NewWorldSnapshot(w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pristineBefore, err := core.Snapshot(snap.Pristine(), "/")
+				if err != nil {
+					t.Fatal(err)
+				}
+				victim, err := snap.World()
+				if err != nil {
+					t.Fatal(err)
+				}
+				sibling, err := snap.World()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := w.Run(victim); err != nil {
+					t.Fatal(err)
+				}
+				// Scribble over everything the run produced for good measure.
+				if err := vfs.Walk(victim, "/", func(p string, info vfs.FileInfo) error {
+					return vfs.WriteFile(victim, p, []byte("CLOBBERED"))
+				}); err != nil {
+					t.Fatal(err)
+				}
+				siblingSnap, err := core.Snapshot(sibling, "/")
+				if err != nil {
+					t.Fatal(err)
+				}
+				diffSnapshots(t, "sibling clone", pristineBefore, siblingSnap)
+				pristineAfter, err := core.Snapshot(snap.Pristine(), "/")
+				if err != nil {
+					t.Fatal(err)
+				}
+				diffSnapshots(t, "pristine snapshot", pristineBefore, pristineAfter)
+			})
+		}
+	}
+}
+
+// TestFig7EngineMatchesSequential is the acceptance gate for the engine
+// rewrite: the engine-scheduled grid must reproduce the pre-engine
+// sequential path's tallies exactly, cell for cell, under the same seed.
+func TestFig7EngineMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Fig7 grid comparison")
+	}
+	o := smallOpts()
+	seqTable, seqCells, err := Fig7Sequential(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engTable, engCells, err := Fig7(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqCells) != len(engCells) {
+		t.Fatalf("%d vs %d cells", len(seqCells), len(engCells))
+	}
+	for i := range seqCells {
+		if seqCells[i].Label != engCells[i].Label {
+			t.Fatalf("cell %d label %q vs %q", i, seqCells[i].Label, engCells[i].Label)
+		}
+		if seqCells[i].Tally != engCells[i].Tally {
+			t.Fatalf("cell %s: sequential %s vs engine %s",
+				seqCells[i].Label, seqCells[i].Tally.String(), engCells[i].Tally.String())
+		}
+	}
+	if seqTable != engTable {
+		t.Fatalf("rendered tables differ:\n--- sequential\n%s\n--- engine\n%s", seqTable, engTable)
+	}
+}

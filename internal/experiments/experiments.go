@@ -44,6 +44,23 @@ type Options struct {
 	// ArmMounts restricts fault injection to the I/O routed to these
 	// mount points of the world (cmd/ffis -arm); empty arms everything.
 	ArmMounts []string
+	// Jobs bounds the campaign engine's shared worker pool across a whole
+	// grid (every cell of Fig7, Ablations, Fig7WithDetector, Tiered draws
+	// runs from one pool). 0 falls back to Workers, then GOMAXPROCS
+	// (cmd flag -jobs).
+	Jobs int
+	// Progress, when set, receives the engine's per-campaign event stream
+	// (cmd flag -progress).
+	Progress func(core.EngineEvent)
+}
+
+// engine builds the shared grid scheduler for these options.
+func (o Options) engine() *core.Engine {
+	jobs := o.Jobs
+	if jobs <= 0 {
+		jobs = o.Workers
+	}
+	return &core.Engine{Jobs: jobs, Progress: o.Progress}
 }
 
 // paper-scale defaults.
@@ -169,29 +186,86 @@ func newBareWorkload(cell string, o Options) (core.Workload, error) {
 	}
 }
 
-// Fig7Cell runs one campaign cell (application × fault model).
+// fig7Spec builds the engine spec for one (cell, model) grid entry. The
+// WorldKey groups the cell's fault models onto one post-Setup snapshot and
+// one memoized profile count.
+func fig7Spec(cellName string, w core.Workload, model core.FaultModel, o Options) core.CampaignSpec {
+	return core.CampaignSpec{
+		Key:      cellName + "/" + model.Short(),
+		WorldKey: cellName,
+		Workload: w,
+		Config: core.CampaignConfig{
+			Fault:     core.Config{Model: model},
+			Runs:      o.Runs,
+			Seed:      o.Seed,
+			ArmMounts: o.ArmMounts,
+		},
+	}
+}
+
+// Fig7Cell runs one campaign cell (application × fault model) on the
+// engine, so cmd/ffis single-cell invocations get the same COW-snapshot
+// fast path and progress stream as full grids.
 func Fig7Cell(cell string, model core.FaultModel, o Options) (core.CampaignResult, error) {
 	o = o.normalize()
 	w, err := NewWorkload(cell, o)
 	if err != nil {
 		return core.CampaignResult{}, err
 	}
-	return core.Campaign(core.CampaignConfig{
-		Fault:     core.Config{Model: model},
-		Runs:      o.Runs,
-		Seed:      o.Seed,
-		Workers:   o.Workers,
-		ArmMounts: o.ArmMounts,
-	}, w)
+	grid := o.engine().Run([]core.CampaignSpec{fig7Spec(cell, w, model, o)})
+	return grid[0].Result, grid[0].Err
 }
 
-// Fig7 runs the full characterization: every cell × every fault model.
+// Fig7 runs the full characterization — every cell × every fault model — as
+// one engine grid: all campaigns share a bounded worker pool, each cell's
+// Setup executes once and is COW-cloned per run, and the per-cell profiling
+// pass is shared by the three fault models.
 func Fig7(o Options) (string, []classify.Cell, error) {
+	o = o.normalize()
+	specs := make([]core.CampaignSpec, 0, len(Fig7Cells)*len(core.Models()))
+	for _, cellName := range Fig7Cells {
+		w, err := NewWorkload(cellName, o)
+		if err != nil {
+			return "", nil, fmt.Errorf("cell %s: %w", cellName, err)
+		}
+		for _, model := range core.Models() {
+			specs = append(specs, fig7Spec(cellName, w, model, o))
+		}
+	}
+	var cells []classify.Cell
+	for _, r := range o.engine().Run(specs) {
+		if r.Err != nil {
+			return "", nil, fmt.Errorf("cell %s: %w", r.Spec.Key, r.Err)
+		}
+		cells = append(cells, r.Result.Cell())
+	}
+	title := fmt.Sprintf("Figure 7: characterization of I/O faults (%d runs per cell)", o.Runs)
+	return classify.Table(title, cells), cells, nil
+}
+
+// Fig7Sequential is the pre-engine reference implementation of Fig7: cells
+// run strictly one after another and every injection run rebuilds its world
+// (NewFS + Setup) from scratch, the paper's literal remount-per-run
+// procedure. Under the same seed it produces tallies identical to Fig7 —
+// the equivalence tests assert it and the repository benchmarks measure the
+// engine's speedup against it.
+func Fig7Sequential(o Options) (string, []classify.Cell, error) {
 	o = o.normalize()
 	var cells []classify.Cell
 	for _, cellName := range Fig7Cells {
+		w, err := NewWorkload(cellName, o)
+		if err != nil {
+			return "", nil, fmt.Errorf("cell %s: %w", cellName, err)
+		}
 		for _, model := range core.Models() {
-			res, err := Fig7Cell(cellName, model, o)
+			res, err := core.Campaign(core.CampaignConfig{
+				Fault:       core.Config{Model: model},
+				Runs:        o.Runs,
+				Seed:        o.Seed,
+				Workers:     o.Workers,
+				ArmMounts:   o.ArmMounts,
+				FreshWorlds: true,
+			}, w)
 			if err != nil {
 				return "", nil, fmt.Errorf("cell %s/%s: %w", cellName, model.Short(), err)
 			}

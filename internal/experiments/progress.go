@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ffis/internal/core"
+)
+
+// ProgressPrinter returns an engine progress callback that streams
+// per-campaign progress lines to w (cmd flag -progress): roughly every
+// tenth of a campaign's runs, plus a terminal line carrying the outcome
+// tally — or the error, with the starved-placement ErrNoTargets spelled
+// out the way the tiered table renders it. The engine serializes callback
+// delivery, so w needs no locking of its own.
+func ProgressPrinter(w io.Writer) func(core.EngineEvent) {
+	return func(ev core.EngineEvent) {
+		switch {
+		case ev.Err != nil:
+			fmt.Fprintf(w, "[%s] error: %v\n", ev.Key, ev.Err)
+		case ev.Result != nil:
+			fmt.Fprintf(w, "[%s] %d/%d done: %s\n", ev.Key, ev.Done, ev.Total, ev.Result.Tally.String())
+		default:
+			step := ev.Total / 10
+			if step < 1 {
+				step = 1
+			}
+			if ev.Done%step == 0 {
+				fmt.Fprintf(w, "[%s] %d/%d\n", ev.Key, ev.Done, ev.Total)
+			}
+		}
+	}
+}

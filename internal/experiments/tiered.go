@@ -136,15 +136,19 @@ type PlacementResult struct {
 // the scenario requires.
 var TieredCells = []string{"nyx", "MT2", "MT4"}
 
-// Tiered sweeps the given Figure 7 cells across the fault placements and
-// returns the rendered per-placement outcome table plus the raw results.
-// Empty cells selects TieredCells.
+// Tiered sweeps the given Figure 7 cells across the fault placements as one
+// engine grid and returns the rendered per-placement outcome table plus the
+// raw results. Empty cells selects TieredCells. All placements of a cell
+// share one WorldKey — the mounted world is built and Setup once, profile
+// counts are memoized per armed-mount set, and every placement's runs draw
+// from the engine's shared pool.
 func Tiered(cells []string, model core.FaultModel, o Options) (string, []PlacementResult, error) {
 	o = o.normalize()
 	if len(cells) == 0 {
 		cells = TieredCells
 	}
-	var results []PlacementResult
+	var specs []core.CampaignSpec
+	var metas []PlacementResult
 	for _, cell := range cells {
 		layout, err := TierLayout(cell)
 		if err != nil {
@@ -158,24 +162,31 @@ func Tiered(cells []string, model core.FaultModel, o Options) (string, []Placeme
 		for _, pl := range Placements {
 			mounts := append([]string(nil), layout.Tiers[pl.Tier]...)
 			sort.Strings(mounts)
-			pr := PlacementResult{Cell: cell, Placement: pl.Name, ArmMounts: mounts}
-			res, err := core.Campaign(core.CampaignConfig{
-				Fault:     core.Config{Model: model},
-				Runs:      o.Runs,
-				Seed:      o.Seed,
-				Workers:   o.Workers,
-				ArmMounts: mounts,
-			}, w)
-			switch {
-			case errors.Is(err, core.ErrNoTargets):
-				pr.NoTargets = true
-			case err != nil:
-				return "", nil, fmt.Errorf("tiered %s/%s: %w", cell, pl.Name, err)
-			default:
-				pr.ProfileCount = res.ProfileCount
-				pr.Tally = res.Tally
-			}
-			results = append(results, pr)
+			metas = append(metas, PlacementResult{Cell: cell, Placement: pl.Name, ArmMounts: mounts})
+			specs = append(specs, core.CampaignSpec{
+				Key: cell + "/" + pl.Name,
+				// Distinct from the flat Fig7 world of the same cell name.
+				WorldKey: cell + "@tiered",
+				Workload: w,
+				Config: core.CampaignConfig{
+					Fault:     core.Config{Model: model},
+					Runs:      o.Runs,
+					Seed:      o.Seed,
+					ArmMounts: mounts,
+				},
+			})
+		}
+	}
+	results := metas
+	for i, r := range o.engine().Run(specs) {
+		switch {
+		case errors.Is(r.Err, core.ErrNoTargets):
+			results[i].NoTargets = true
+		case r.Err != nil:
+			return "", nil, fmt.Errorf("tiered %s: %w", r.Spec.Key, r.Err)
+		default:
+			results[i].ProfileCount = r.Result.ProfileCount
+			results[i].Tally = r.Result.Tally
 		}
 	}
 	return RenderTiered(model, o.Runs, results), results, nil

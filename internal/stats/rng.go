@@ -60,13 +60,26 @@ func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("stats: Intn called with non-positive n")
 	}
+	// Same stream, same draws as Int64n for any shared bound; the result
+	// fits back into int because the bound did.
+	return int(r.Int64n(int64(n)))
+}
+
+// Int64n returns a uniform int64 in [0, n). It panics if n <= 0. Unlike
+// Intn, the bound is never squeezed through the platform int — campaign
+// target draws over dynamic-instance counts beyond math.MaxInt32 stay
+// exact on 32-bit platforms.
+func (r *RNG) Int64n(n int64) int64 {
+	if n <= 0 {
+		panic("stats: Int64n called with non-positive n")
+	}
 	// Lemire's nearly-divisionless bounded generation.
 	bound := uint64(n)
 	for {
 		v := r.Uint64()
 		hi, lo := mul64(v, bound)
 		if lo >= bound || lo >= (-bound)%bound {
-			return int(hi)
+			return int64(hi)
 		}
 	}
 }

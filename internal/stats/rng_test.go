@@ -79,6 +79,66 @@ func TestIntnUniformity(t *testing.T) {
 	}
 }
 
+func TestInt64nBounds(t *testing.T) {
+	r := NewRNG(7)
+	for _, n := range []int64{1, 2, 3, 10, 1000, 1 << 30, 1 << 40, math.MaxInt64} {
+		for i := 0; i < 200; i++ {
+			v := r.Int64n(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Int64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+// TestInt64nMatchesIntn pins the campaign-reproducibility contract: for any
+// bound both methods accept, the same stream yields the same draws, so
+// switching the target-selection path from Intn to Int64n cannot perturb a
+// single historical campaign.
+func TestInt64nMatchesIntn(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 4096, 1<<31 - 1} {
+		a, b := NewRNG(123), NewRNG(123)
+		for i := 0; i < 500; i++ {
+			x, y := a.Intn(n), b.Int64n(int64(n))
+			if int64(x) != y {
+				t.Fatalf("n=%d step %d: Intn=%d Int64n=%d", n, i, x, y)
+			}
+		}
+	}
+}
+
+// TestInt64nBeyondMaxInt32 is the regression test for the campaign target
+// draw: profile counts above math.MaxInt32 must reach the full range instead
+// of being truncated through a 32-bit int (the old rng.Intn(int(count))
+// path). The bound is chosen so roughly half the draws exceed MaxInt32.
+func TestInt64nBeyondMaxInt32(t *testing.T) {
+	r := NewRNG(17)
+	n := int64(math.MaxInt32) * 2
+	above := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		v := r.Int64n(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Int64n(%d) = %d out of range", n, v)
+		}
+		if v > math.MaxInt32 {
+			above++
+		}
+	}
+	if above < trials/4 || above > trials*3/4 {
+		t.Fatalf("only %d/%d draws above MaxInt32; high half unreachable?", above, trials)
+	}
+}
+
+func TestInt64nPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Int64n(0) did not panic")
+		}
+	}()
+	NewRNG(1).Int64n(0)
+}
+
 func TestFloat64Range(t *testing.T) {
 	r := NewRNG(3)
 	for i := 0; i < 10000; i++ {

@@ -1,0 +1,74 @@
+package vfs
+
+import "errors"
+
+// ErrNotClonable reports a backend that cannot produce a copy-on-write
+// snapshot of itself (e.g. OSFS, whose state lives outside the process).
+// Callers that want a clone-or-rebuild policy test for it with errors.Is.
+var ErrNotClonable = errors.New("vfs: backend does not support cloning")
+
+// Cloner is implemented by file systems that can snapshot themselves as a
+// cheap copy-on-write clone: the clone and the receiver observe identical
+// state at clone time, and from then on mutations on either side are
+// invisible to the other. This is the world-duplication primitive of
+// campaign engines: Setup runs once, and every injection run receives a
+// clone instead of re-executing the workload's world construction.
+type Cloner interface {
+	CloneFS() (FS, error)
+}
+
+// Clone returns a copy-on-write snapshot of the file system. The namespace
+// (the node table) is copied eagerly — O(number of entries) — while file
+// contents are shared structurally: both trees reference the same data
+// slices until one of them writes, at which point the writer copies the
+// node's bytes (see memNode.ensureOwned). Open handles on the receiver keep
+// addressing the receiver's nodes; the clone starts with no open handles.
+func (m *MemFS) Clone() *MemFS {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	nodes := make(map[string]*memNode, len(m.nodes))
+	for p, n := range m.nodes {
+		n.mu.Lock()
+		n.shared = true
+		nodes[p] = &memNode{data: n.data, mode: n.mode, isDir: n.isDir, dev: n.dev, shared: true}
+		n.mu.Unlock()
+	}
+	return &MemFS{nodes: nodes}
+}
+
+// CloneFS implements Cloner.
+func (m *MemFS) CloneFS() (FS, error) { return m.Clone(), nil }
+
+// Clone returns a copy-on-write snapshot of the mounted world: the mount
+// table is preserved entry for entry, with every backend replaced by its own
+// clone. All backends must implement Cloner (ErrNotClonable otherwise), and
+// an interposed view (WithInterposed) cannot be cloned — snapshots are taken
+// of pristine worlds, before any injector or profiler is layered on.
+func (m *MountFS) Clone() (*MountFS, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	mounts := make([]mountEntry, len(m.mounts))
+	for i, mp := range m.mounts {
+		if mp.abs {
+			return nil, &PathError{Op: "clone", Path: mp.path, Err: errors.New("vfs: cannot clone an interposed view")}
+		}
+		c, ok := mp.fs.(Cloner)
+		if !ok {
+			return nil, &PathError{Op: "clone", Path: mp.path, Err: ErrNotClonable}
+		}
+		fs, err := c.CloneFS()
+		if err != nil {
+			return nil, &PathError{Op: "clone", Path: mp.path, Err: err}
+		}
+		mounts[i] = mountEntry{path: mp.path, fs: fs}
+	}
+	return &MountFS{mounts: mounts}, nil
+}
+
+// CloneFS implements Cloner.
+func (m *MountFS) CloneFS() (FS, error) { return m.Clone() }
+
+var (
+	_ Cloner = (*MemFS)(nil)
+	_ Cloner = (*MountFS)(nil)
+)

@@ -1,0 +1,309 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// snapshotAll walks every file under "/" into a path→content map.
+func snapshotAll(t *testing.T, fsys FS) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	err := Walk(fsys, "/", func(p string, info FileInfo) error {
+		data, err := ReadFile(fsys, p)
+		if err != nil {
+			return err
+		}
+		out[p] = data
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walk: %v", err)
+	}
+	return out
+}
+
+func sameSnapshot(a, b map[string][]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for p, data := range a {
+		if other, ok := b[p]; !ok || !bytes.Equal(data, other) {
+			return false
+		}
+	}
+	return true
+}
+
+func buildTree(t *testing.T, fsys FS) {
+	t.Helper()
+	if err := fsys.MkdirAll("/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(fsys, "/a/b/one", []byte("one content")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(fsys, "/a/two", bytes.Repeat([]byte("x"), 4096)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(fsys, "/top", []byte("top")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Mknod("/dev0", 0o600, 42); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemFSCloneEquality(t *testing.T) {
+	m := NewMemFS()
+	buildTree(t, m)
+	c := m.Clone()
+	if !sameSnapshot(snapshotAll(t, m), snapshotAll(t, c)) {
+		t.Fatal("clone differs from original at clone time")
+	}
+	// Metadata comes along too.
+	for _, p := range []string{"/a", "/a/b/one", "/dev0"} {
+		oi, err := m.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ci, err := c.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if oi != ci {
+			t.Fatalf("stat %s: original %+v clone %+v", p, oi, ci)
+		}
+	}
+}
+
+// TestMemFSCloneIsolation mutates a clone every way the FS interface allows
+// and asserts neither the pristine original nor a sibling clone observes any
+// of it — and symmetrically, that post-clone writes to the original stay out
+// of the clones.
+func TestMemFSCloneIsolation(t *testing.T) {
+	m := NewMemFS()
+	buildTree(t, m)
+	pristine := snapshotAll(t, m)
+
+	mutations := []struct {
+		name string
+		mut  func(fs FS) error
+	}{
+		{"overwrite", func(fs FS) error { return WriteFile(fs, "/a/b/one", []byte("CLOBBERED")) }},
+		{"write-at", func(fs FS) error {
+			f, err := fs.Append("/a/two")
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			_, err = f.WriteAt([]byte("mid"), 100)
+			return err
+		}},
+		{"append", func(fs FS) error {
+			f, err := fs.Append("/top")
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			_, err = f.Write([]byte(" more"))
+			return err
+		}},
+		{"truncate-shrink", func(fs FS) error { return fs.Truncate("/a/two", 10) }},
+		{"truncate-grow", func(fs FS) error { return fs.Truncate("/top", 1000) }},
+		{"remove", func(fs FS) error { return fs.Remove("/a/b/one") }},
+		{"rename", func(fs FS) error { return fs.Rename("/top", "/moved") }},
+		{"create-new", func(fs FS) error { return WriteFile(fs, "/fresh", []byte("new")) }},
+		{"create-truncating", func(fs FS) error {
+			f, err := fs.Create("/a/two")
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			_, err = f.Write([]byte("short"))
+			return err
+		}},
+		{"removeall", func(fs FS) error { return fs.RemoveAll("/a") }},
+		{"chmod", func(fs FS) error { return fs.Chmod("/a/b/one", 0o400) }},
+	}
+	for _, tc := range mutations {
+		t.Run(tc.name, func(t *testing.T) {
+			victim := m.Clone()
+			sibling := m.Clone()
+			if err := tc.mut(victim); err != nil {
+				t.Fatalf("mutation: %v", err)
+			}
+			if !sameSnapshot(snapshotAll(t, m), pristine) {
+				t.Fatal("mutation in clone leaked into the original")
+			}
+			if !sameSnapshot(snapshotAll(t, sibling), pristine) {
+				t.Fatal("mutation in clone leaked into a sibling clone")
+			}
+		})
+	}
+
+	// The reverse direction: the original mutates after cloning.
+	clone := m.Clone()
+	if err := WriteFile(m, "/a/b/one", []byte("original moved on")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Truncate("/a/two", 1); err != nil {
+		t.Fatal(err)
+	}
+	if !sameSnapshot(snapshotAll(t, clone), pristine) {
+		t.Fatal("mutation in original leaked into the clone")
+	}
+}
+
+// TestMemFSCloneAppendWithinCapacity covers the subtle shared-backing case:
+// a shrink leaves spare capacity in the shared slice, and a later grow on one
+// side must not scribble into backing bytes the other side could reuse.
+func TestMemFSCloneAppendWithinCapacity(t *testing.T) {
+	m := NewMemFS()
+	if err := WriteFile(m, "/f", bytes.Repeat([]byte("A"), 8192)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Truncate("/f", 16); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Clone()
+	// Grow the original back into what was spare capacity.
+	f, err := m.Append("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(bytes.Repeat([]byte("B"), 100)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := ReadFile(c, "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := bytes.Repeat([]byte("A"), 16); !bytes.Equal(got, want) {
+		t.Fatalf("clone sees %q, want %q", got, want)
+	}
+}
+
+func TestMountFSClone(t *testing.T) {
+	root := NewMemFS()
+	m := NewMountFS(root)
+	if err := m.Mount("/scratch", NewMemFS()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Mount("/out", NewMemFS()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(m, "/scratch/data", []byte("scratch bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(m, "/out/result", []byte("out bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(m, "/rootfile", []byte("root bytes")); err != nil {
+		t.Fatal(err)
+	}
+	pristine := snapshotAll(t, m)
+
+	c, err := m.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameSnapshot(snapshotAll(t, c), pristine) {
+		t.Fatal("mount clone differs from original")
+	}
+	// Same table, distinct backends.
+	om, cm := m.Mounts(), c.Mounts()
+	if len(om) != len(cm) {
+		t.Fatalf("mount table size changed: %d vs %d", len(om), len(cm))
+	}
+	for i := range om {
+		if om[i].Path != cm[i].Path {
+			t.Fatalf("mount %d path %q vs %q", i, om[i].Path, cm[i].Path)
+		}
+		if om[i].FS == cm[i].FS {
+			t.Fatalf("mount %q shares its backend with the clone", om[i].Path)
+		}
+	}
+	// Mutations on each side of every tier stay private.
+	if err := WriteFile(c, "/scratch/data", []byte("CLONE")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(c, "/out/extra", []byte("EXTRA")); err != nil {
+		t.Fatal(err)
+	}
+	if !sameSnapshot(snapshotAll(t, m), pristine) {
+		t.Fatal("clone mutation leaked into the original mounted world")
+	}
+	// Cross-mount semantics survive the clone.
+	if err := c.Rename("/scratch/data", "/out/data"); !errors.Is(err, ErrCrossMount) {
+		t.Fatalf("cross-mount rename on clone: %v, want ErrCrossMount", err)
+	}
+}
+
+type unclonableFS struct{ FS }
+
+func TestMountFSCloneUnclonableBackend(t *testing.T) {
+	m := NewMountFS(NewMemFS())
+	if err := m.Mount("/osdir", unclonableFS{NewMemFS()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Clone(); !errors.Is(err, ErrNotClonable) {
+		t.Fatalf("clone with unclonable backend: %v, want ErrNotClonable", err)
+	}
+}
+
+func TestMountFSCloneRejectsInterposedView(t *testing.T) {
+	m := NewMountFS(NewMemFS())
+	if err := m.Mount("/scratch", NewMemFS()); err != nil {
+		t.Fatal(err)
+	}
+	armed, err := m.WithInterposed("/scratch", func(inner FS) FS { return inner })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := armed.Clone(); err == nil {
+		t.Fatal("cloning an interposed view should fail")
+	}
+}
+
+// TestMemFSCloneConcurrent hammers clones from multiple goroutines while the
+// original keeps writing; run under -race this is the campaign engine's
+// world-fan-out in miniature.
+func TestMemFSCloneConcurrent(t *testing.T) {
+	m := NewMemFS()
+	buildTree(t, m)
+	pristine := snapshotAll(t, m)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				c := m.Clone()
+				p := fmt.Sprintf("/g%d-%d", g, i)
+				if err := WriteFile(c, p, []byte(p)); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := WriteFile(c, "/a/b/one", []byte(p)); err != nil {
+					t.Error(err)
+					return
+				}
+				got, err := ReadFile(c, "/a/b/one")
+				if err != nil || string(got) != p {
+					t.Errorf("clone readback %q: %q, %v", p, got, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if !sameSnapshot(snapshotAll(t, m), pristine) {
+		t.Fatal("concurrent clone traffic mutated the original")
+	}
+}

@@ -189,6 +189,20 @@ type memNode struct {
 	mode  uint32
 	isDir bool
 	dev   uint64 // mknod device number; kept so metadata faults have a target
+	// shared marks data as structurally shared with Clone()d trees: the
+	// slice must be replaced, never mutated in place. Cleared by ensureOwned
+	// on the first write after a clone.
+	shared bool
+}
+
+// ensureOwned gives the node private backing storage ahead of an in-place
+// mutation. Callers hold n.mu for writing. Only the first mutation after a
+// Clone pays the copy; reads and untouched nodes stay zero-copy.
+func (n *memNode) ensureOwned() {
+	if n.shared {
+		n.data = append([]byte(nil), n.data...)
+		n.shared = false
+	}
 }
 
 // MemFS is a thread-safe, in-memory file system. It stands in for the
@@ -250,7 +264,13 @@ func (m *MemFS) Create(name string) (File, error) {
 			return nil, &PathError{Op: "create", Path: name, Err: ErrIsDir}
 		}
 		n.mu.Lock()
-		n.data = n.data[:0]
+		if n.shared {
+			// Truncating to zero never needs the old bytes: drop the shared
+			// backing instead of copying it.
+			n.data, n.shared = nil, false
+		} else {
+			n.data = n.data[:0]
+		}
 		n.mu.Unlock()
 		return &memFile{name: name, node: n, writable: true}, nil
 	}
@@ -521,6 +541,7 @@ func truncateNode(n *memNode, size int64) error {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	n.ensureOwned()
 	switch {
 	case int64(len(n.data)) > size:
 		n.data = n.data[:size]
@@ -610,6 +631,7 @@ func (f *memFile) writeAt(p []byte, off int64) (int, error) {
 	}
 	f.node.mu.Lock()
 	defer f.node.mu.Unlock()
+	f.node.ensureOwned()
 	if grow := off + int64(len(p)) - int64(len(f.node.data)); grow > 0 {
 		f.node.data = append(f.node.data, make([]byte, grow)...)
 	}
