@@ -7,12 +7,13 @@
 //	experiments -fig 7 -runs 200           # the characterization, reduced
 //	experiments -fig 5 -outdir ./artifacts # writes PGM visualizations
 //	experiments -tiered -runs 200          # fault placement across storage tiers
+//	experiments -readwrite -runs 200       # read-path vs write-path fault families
 //	experiments -fig 7 -jobs 8 -progress   # 8-wide engine pool, streamed progress
 //
-// Campaign grids (-fig 7, -ablation, -detector-study, -tiered) run on the
-// campaign engine: each cell's Setup executes once and every injection run
-// gets a copy-on-write clone of that snapshot, with all cells drawing from
-// one bounded worker pool (-jobs).
+// Campaign grids (-fig 7, -ablation, -detector-study, -tiered, -readwrite)
+// run on the campaign engine: each cell's Setup executes once and every
+// injection run gets a copy-on-write clone of that snapshot, with all cells
+// drawing from one bounded worker pool (-jobs).
 package main
 
 import (
@@ -41,6 +42,7 @@ func main() {
 		ablation = flag.Bool("ablation", false, "run the design-choice ablation sweeps")
 		detector = flag.Bool("detector-study", false, "run the Nyx with/without average-value comparison")
 		tiered   = flag.Bool("tiered", false, "run the tiered-storage placement sweep (fault tier vs clean tiers)")
+		rw       = flag.Bool("readwrite", false, "run the read-path vs write-path fault grid (BF/SW/DW vs RB/UR/LC)")
 		outdir   = flag.String("outdir", "", "directory for image artifacts (Figures 5 and 9)")
 	)
 	flag.Parse()
@@ -172,6 +174,14 @@ func main() {
 			}
 			fmt.Println(out)
 		}
+		ranSomething = true
+	}
+	if *rw || *all {
+		out, _, err := experiments.ReadWriteGrid(o)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(out)
 		ranSomething = true
 	}
 	if !ranSomething {

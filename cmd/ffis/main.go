@@ -1,12 +1,14 @@
 // Command ffis runs a single fault-injection campaign cell: one application
-// (nyx, qmcpack, MT1..MT4) under one fault model (bf, sw, dw), mirroring the
-// paper's per-cell methodology (profile, N randomized injections, outcome
-// classification).
+// (nyx, qmcpack, MT1..MT4) under one fault model — a write-path model (bf,
+// sw, dw) or a read-path model (read-bit-flip, unreadable, latent) —
+// mirroring the paper's per-cell methodology (profile, N randomized
+// injections, outcome classification).
 //
 // Usage:
 //
 //	ffis -app nyx -model dw -runs 1000
 //	ffis -app MT2 -model sw -runs 200 -csv
+//	ffis -app MT2 -model latent -runs 200
 //
 // Tiered storage: -mount builds a multi-backend world (repeatable, syntax
 // PATH[=BACKEND]; campaigns require the hermetic mem backend) and -arm
@@ -42,7 +44,7 @@ func (l *stringList) Set(v string) error {
 func main() {
 	var (
 		app       = flag.String("app", "nyx", "campaign cell: nyx, qmcpack, MT1, MT2, MT3, MT4")
-		model     = flag.String("model", "bf", "fault model: bf (bit flip), sw (shorn write), dw (dropped write)")
+		model     = flag.String("model", "bf", "fault model: bf (bit flip), sw (shorn write), dw (dropped write), read-bit-flip, unreadable, latent")
 		runs      = flag.Int("runs", 1000, "fault-injection runs (the paper uses 1000)")
 		seed      = flag.Uint64("seed", 2021, "campaign seed")
 		workers   = flag.Int("workers", 0, "parallel runs (0 = GOMAXPROCS)")
@@ -67,6 +69,12 @@ func main() {
 		fm = core.ShornWrite
 	case "dw", "dropped", "dropped-write":
 		fm = core.DroppedWrite
+	case "rb", "read-bit-flip", "read-bitflip":
+		fm = core.ReadBitFlip
+	case "ur", "unreadable", "unreadable-sector":
+		fm = core.UnreadableSector
+	case "lc", "latent", "latent-corruption":
+		fm = core.LatentCorruption
 	default:
 		fmt.Fprintf(os.Stderr, "ffis: unknown fault model %q\n", *model)
 		os.Exit(2)

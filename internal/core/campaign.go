@@ -237,11 +237,14 @@ func Campaign(cfg CampaignConfig, w Workload) (CampaignResult, error) {
 	if cfg.Runs <= 0 {
 		return CampaignResult{}, errors.New("core: campaign needs Runs > 0")
 	}
+	sig := cfg.Fault.Signature()
+	if err := sig.Validate(); err != nil {
+		return CampaignResult{}, err
+	}
 	snap, err := newSnapshot(w, cfg.FreshWorlds)
 	if err != nil {
 		return CampaignResult{}, err
 	}
-	sig := cfg.Fault.Signature()
 	world, err := snap.World()
 	if err != nil {
 		return CampaignResult{}, err

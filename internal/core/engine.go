@@ -263,6 +263,10 @@ func (e *Engine) runSpec(spec CampaignSpec, sem chan struct{}) (CampaignResult, 
 		return CampaignResult{}, err
 	}
 	sig := cfg.Fault.Signature()
+	if err := sig.Validate(); err != nil {
+		e.emit(EngineEvent{Key: spec.Key, Total: cfg.Runs, Err: err})
+		return CampaignResult{}, err
+	}
 	p := e.prep(spec.worldKey(), spec.Workload)
 
 	// Preparation (world build + profiling run) is real work: it occupies a

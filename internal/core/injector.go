@@ -77,6 +77,16 @@ func (inj *Injector) record(m Mutation) {
 	inj.mutation = &cp
 }
 
+// flip is the single entry point to the injector's RNG for bit flipping:
+// every caller (write, metadata, truncate, and read paths alike) draws the
+// bit position under inj.mu, so concurrent handles can never race on the
+// RNG state.
+func (inj *Injector) flip(buf []byte) ([]byte, Mutation) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return mutateBitFlip(buf, inj.sig.Feature, inj.rng)
+}
+
 // Wrap returns a file system that behaves exactly like inner except for the
 // single corrupted primitive instance.
 func (inj *Injector) Wrap(inner vfs.FS) vfs.FS {
@@ -94,7 +104,10 @@ func (f *InjectorFS) wrapFile(file vfs.File, err error) (vfs.File, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &injectorFile{File: file, inj: f.inj}, nil
+	// fs is the uninstrumented view at the same path-translation layer: the
+	// latent-corruption model uses it to open a writable side handle onto
+	// the file being read without re-entering the injector.
+	return &injectorFile{File: file, inj: f.inj, fs: f.inner}, nil
 }
 
 // Create delegates and wraps the returned handle.
@@ -145,7 +158,7 @@ func (f *InjectorFS) Mknod(name string, mode uint32, dev uint64) error {
 		switch f.inj.sig.Model {
 		case BitFlip:
 			buf := []byte{byte(mode), byte(mode >> 8), byte(mode >> 16), byte(mode >> 24)}
-			mut, m := mutateBitFlip(buf, f.inj.sig.Feature, f.inj.rng)
+			mut, m := f.inj.flip(buf)
 			m.Path = name
 			f.inj.record(m)
 			mode = uint32(mut[0]) | uint32(mut[1])<<8 | uint32(mut[2])<<16 | uint32(mut[3])<<24
@@ -167,7 +180,7 @@ func (f *InjectorFS) Chmod(name string, mode uint32) error {
 		switch f.inj.sig.Model {
 		case BitFlip:
 			buf := []byte{byte(mode), byte(mode >> 8), byte(mode >> 16), byte(mode >> 24)}
-			mut, m := mutateBitFlip(buf, f.inj.sig.Feature, f.inj.rng)
+			mut, m := f.inj.flip(buf)
 			m.Path = name
 			f.inj.record(m)
 			mode = uint32(mut[0]) | uint32(mut[1])<<8 | uint32(mut[2])<<16 | uint32(mut[3])<<24
@@ -182,28 +195,83 @@ func (f *InjectorFS) Chmod(name string, mode uint32) error {
 	return f.inner.Chmod(name, mode)
 }
 
-// Truncate delegates unchanged.
+// Truncate hosts faults when the signature targets the truncate primitive:
+// a dropped truncate is acknowledged but never applied, and a bit-flipped
+// truncate resizes to a corrupted size argument.
 func (f *InjectorFS) Truncate(name string, size int64) error {
+	if size2, drop, ok := f.inj.applyTruncateFault(name, size); ok {
+		if drop {
+			return nil
+		}
+		size = size2
+	}
 	return f.inner.Truncate(name, size)
 }
 
-// injectorFile interposes on the write path of a single handle. This is the
+// applyTruncateFault claims and applies a truncate-hosted fault. ok reports
+// that the fault fired; drop that the truncate must be suppressed entirely.
+func (inj *Injector) applyTruncateFault(name string, size int64) (newSize int64, drop, ok bool) {
+	if inj.sig.Primitive != vfs.PrimTruncate || !inj.claim() {
+		return size, false, false
+	}
+	switch inj.sig.Model {
+	case DroppedWrite:
+		inj.record(Mutation{Model: DroppedWrite, Path: name, Offset: size, Dropped: true})
+		return size, true, true
+	case BitFlip:
+		// The flip lands in the significant bytes of the size argument, so
+		// the corrupted size stays the same order of magnitude (a flip in
+		// the top bits of a 64-bit size would demand exabytes of backing
+		// store no device models).
+		width := 1
+		for s := size >> 8; s > 0; s >>= 8 {
+			width++
+		}
+		buf := make([]byte, width)
+		for i := range buf {
+			buf[i] = byte(size >> (8 * i))
+		}
+		mut, m := inj.flip(buf)
+		newSize = 0
+		for i := width - 1; i >= 0; i-- {
+			newSize = newSize<<8 | int64(mut[i])
+		}
+		m.Path = name
+		m.Offset = size
+		m.NewSize = newSize
+		inj.record(m)
+		return newSize, false, true
+	default:
+		// Unreachable under Signature.Validate; pass through untouched.
+		return size, false, false
+	}
+}
+
+// injectorFile interposes on the data path of a single handle. This is the
 // Go rendering of Figure 3a: the (buffer, size, offset) triple passed to
-// FFIS_write is modified according to the fault model before being fed to
-// the underlying pwrite.
+// FFIS_write (or returned by FFIS_read) is modified according to the fault
+// model before reaching the other side. fs is the uninstrumented view of
+// the same storage, used by LatentCorruption to mutate at-rest bytes.
 type injectorFile struct {
 	vfs.File
 	inj *Injector
+	fs  vfs.FS
 }
 
-// Write intercepts the sequential write primitive.
+// Write intercepts the sequential write primitive. Zero-length buffers pass
+// through without claiming: an empty write mutates nothing, so burning the
+// injector's single shot on it would tally a run as injected when no fault
+// ever reached the device.
 func (f *injectorFile) Write(p []byte) (int, error) {
-	if f.inj.sig.Primitive != vfs.PrimWrite || !f.inj.claim() {
+	if f.inj.sig.Primitive != vfs.PrimWrite || len(p) == 0 || !f.inj.claim() {
 		return f.File.Write(p)
 	}
 	off, err := f.File.Seek(0, io.SeekCurrent)
 	if err != nil {
-		off = 0 // offset unknown; treat buffer as block-aligned
+		// Without the real offset the shorn-write block plan would be
+		// computed against a fabricated device position; fail the write
+		// rather than corrupt the wrong sectors.
+		return 0, fmt.Errorf("core: injector: device offset unknown for armed write: %w", err)
 	}
 	mutated, skip, m := f.inj.applyWriteFault(f.File, p, off)
 	m.Path = f.File.Name()
@@ -227,7 +295,7 @@ func (f *injectorFile) Write(p []byte) (int, error) {
 
 // WriteAt intercepts the positional write primitive (pwrite).
 func (f *injectorFile) WriteAt(p []byte, off int64) (int, error) {
-	if f.inj.sig.Primitive != vfs.PrimWrite || !f.inj.claim() {
+	if f.inj.sig.Primitive != vfs.PrimWrite || len(p) == 0 || !f.inj.claim() {
 		return f.File.WriteAt(p, off)
 	}
 	mutated, skip, m := f.inj.applyWriteFault(f.File, p, off)
@@ -244,14 +312,148 @@ func (f *injectorFile) WriteAt(p []byte, off int64) (int, error) {
 	return n, err
 }
 
+// Read intercepts the sequential read primitive: the mirror of FFIS_write
+// for faults that surface when data is consumed. Zero-length buffers pass
+// through without claiming, like the write path.
+func (f *injectorFile) Read(p []byte) (int, error) {
+	if f.inj.sig.Primitive != vfs.PrimRead || len(p) == 0 || !f.inj.claim() {
+		return f.File.Read(p)
+	}
+	switch f.inj.sig.Model {
+	case UnreadableSector:
+		// The device never delivers the data, so the underlying read must
+		// not execute: the sequential offset stays where it was.
+		off, err := f.File.Seek(0, io.SeekCurrent)
+		if err != nil {
+			off = -1 // offset is only logged for this model
+		}
+		return 0, f.inj.failUnreadable(f.File.Name(), len(p), off)
+	case LatentCorruption:
+		// The at-rest bytes under the read range must be corrupted before
+		// the read executes, so this very read already observes the damage.
+		off, err := f.File.Seek(0, io.SeekCurrent)
+		if err != nil {
+			return 0, fmt.Errorf("core: injector: device offset unknown for armed read: %w", err)
+		}
+		if err := f.corruptAtRest(off, len(p)); err != nil {
+			return 0, err
+		}
+		return f.File.Read(p)
+	default: // ReadBitFlip
+		off, err := f.File.Seek(0, io.SeekCurrent)
+		if err != nil {
+			off = -1 // offset is only logged for this model
+		}
+		n, err := f.File.Read(p)
+		f.inj.flipRead(f.File.Name(), p, n, off)
+		return n, err
+	}
+}
+
+// ReadAt intercepts the positional read primitive (pread).
+func (f *injectorFile) ReadAt(p []byte, off int64) (int, error) {
+	if f.inj.sig.Primitive != vfs.PrimRead || len(p) == 0 || !f.inj.claim() {
+		return f.File.ReadAt(p, off)
+	}
+	switch f.inj.sig.Model {
+	case UnreadableSector:
+		return 0, f.inj.failUnreadable(f.File.Name(), len(p), off)
+	case LatentCorruption:
+		if err := f.corruptAtRest(off, len(p)); err != nil {
+			return 0, err
+		}
+		return f.File.ReadAt(p, off)
+	default: // ReadBitFlip
+		n, err := f.File.ReadAt(p, off)
+		f.inj.flipRead(f.File.Name(), p, n, off)
+		return n, err
+	}
+}
+
+// failUnreadable records the uncorrectable-ECC mutation and returns the
+// EIO the application sees. The caller must not have executed the
+// underlying read: the device delivers nothing.
+func (inj *Injector) failUnreadable(name string, length int, off int64) error {
+	inj.record(Mutation{Model: UnreadableSector, Path: name, Offset: off, Length: length, Unreadable: true})
+	return &vfs.PathError{Op: "read", Path: name, Err: vfs.ErrUnreadable}
+}
+
+// flipRead applies the transient bit rot to the n bytes the device
+// delivered into p. A shot landing on a read that delivered nothing (the
+// EOF probe ending every read-until-EOF loop — profiled, hence claimable)
+// burns harmlessly, recorded with BitPos -1 like a latent shot at EOF.
+func (inj *Injector) flipRead(name string, p []byte, n int, off int64) {
+	mutated, m := inj.flip(p[:n])
+	copy(p, mutated)
+	m.Model = ReadBitFlip
+	m.Path = name
+	m.Offset = off
+	m.Length = n
+	inj.record(m)
+}
+
+// corruptAtRest flips bits in the stored bytes under [off, off+length),
+// clamped to the file's current size, through a writable side handle on the
+// uninstrumented view — so the corruption is durable and every subsequent
+// reader (the application and the outcome classifier alike) observes it.
+func (f *injectorFile) corruptAtRest(off int64, length int) error {
+	name := f.File.Name()
+	// Append opens read-write without truncating and works on files opened
+	// read-only by the application.
+	wf, err := f.fs.Append(name)
+	if err != nil {
+		return fmt.Errorf("core: injector: latent corruption of %s: %w", name, err)
+	}
+	defer wf.Close()
+	size, err := wf.Size()
+	if err != nil {
+		return err
+	}
+	if off >= size || off < 0 {
+		// The target read starts at/after EOF: there are no at-rest bytes
+		// under it. The shot is spent on a read that delivers no data —
+		// record the no-op so the run still counts as injected.
+		f.inj.record(Mutation{Model: LatentCorruption, Path: name, Offset: off, BitPos: -1, Latent: true})
+		return nil
+	}
+	n := int64(length)
+	if off+n > size {
+		n = size - off
+	}
+	buf := make([]byte, n)
+	if _, err := wf.ReadAt(buf, off); err != nil && err != io.EOF {
+		return err
+	}
+	mutated, m := f.inj.flip(buf)
+	if _, err := wf.WriteAt(mutated, off); err != nil {
+		return err
+	}
+	m.Model = LatentCorruption
+	m.Path = name
+	m.Offset = off
+	m.Latent = true
+	f.inj.record(m)
+	return nil
+}
+
+// Truncate intercepts the handle-level truncate primitive, hosting the same
+// faults as the FS-level call so the claim count matches the profiler's.
+func (f *injectorFile) Truncate(size int64) error {
+	if size2, drop, ok := f.inj.applyTruncateFault(f.File.Name(), size); ok {
+		if drop {
+			return nil
+		}
+		size = size2
+	}
+	return f.File.Truncate(size)
+}
+
 // applyWriteFault produces the corrupted buffer for the armed model.
 // skip reports that the write must be suppressed entirely (dropped write).
 func (inj *Injector) applyWriteFault(file vfs.File, p []byte, off int64) (mutated []byte, skip bool, m Mutation) {
 	switch inj.sig.Model {
 	case BitFlip:
-		inj.mu.Lock()
-		mutated, m = mutateBitFlip(p, inj.sig.Feature, inj.rng)
-		inj.mu.Unlock()
+		mutated, m = inj.flip(p)
 		m.Length = len(p)
 		return mutated, false, m
 
@@ -303,12 +505,21 @@ func (inj *Injector) applyShorn(file vfs.File, p []byte, off int64) ([]byte, boo
 func (m Mutation) String() string {
 	switch m.Model {
 	case BitFlip:
+		if m.NewSize > 0 {
+			return fmt.Sprintf("bit-flip %s truncate size %d -> %d bit=%d", m.Path, m.Offset, m.NewSize, m.BitPos)
+		}
 		return fmt.Sprintf("bit-flip %s off=%d len=%d bit=%d", m.Path, m.Offset, m.Length, m.BitPos)
 	case ShornWrite:
 		return fmt.Sprintf("shorn-write %s off=%d len=%d kept=%d lost-sectors=%d",
 			m.Path, m.Offset, m.Length, m.Kept, m.Sectors)
 	case DroppedWrite:
 		return fmt.Sprintf("dropped-write %s off=%d len=%d", m.Path, m.Offset, m.Length)
+	case ReadBitFlip:
+		return fmt.Sprintf("read-bit-flip %s off=%d len=%d bit=%d (transient)", m.Path, m.Offset, m.Length, m.BitPos)
+	case UnreadableSector:
+		return fmt.Sprintf("unreadable-sector %s off=%d len=%d (EIO)", m.Path, m.Offset, m.Length)
+	case LatentCorruption:
+		return fmt.Sprintf("latent-corruption %s off=%d bit=%d (at rest)", m.Path, m.Offset, m.BitPos)
 	default:
 		return fmt.Sprintf("mutation(%d) %s", int(m.Model), m.Path)
 	}

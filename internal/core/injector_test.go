@@ -2,8 +2,10 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
+	"ffis/internal/classify"
 	"ffis/internal/stats"
 	"ffis/internal/vfs"
 )
@@ -296,6 +298,268 @@ func TestWritePrimitiveUntouchedWhenTargetingMknod(t *testing.T) {
 	got, _ := vfs.ReadFile(base, "/f")
 	if !bytes.Equal(got, payload) {
 		t.Fatal("write corrupted although signature targets mknod")
+	}
+}
+
+// TestTruncateFaultHosting is the regression test for the truncate
+// dead-primitive hole: a truncate-targeted signature used to profile a
+// nonzero count while the injector passed every truncate through, so whole
+// campaigns silently tallied 100% benign.
+func TestTruncateFaultHosting(t *testing.T) {
+	t.Run("dropped-fs-level", func(t *testing.T) {
+		base := vfs.NewMemFS()
+		vfs.WriteFile(base, "/f", bytes.Repeat([]byte{1}, 1000))
+		sig := Config{Model: DroppedWrite, Primitive: vfs.PrimTruncate}.Signature()
+		inj := NewInjector(sig, 0, stats.NewRNG(41))
+		fs := inj.Wrap(base)
+		if err := fs.Truncate("/f", 100); err != nil {
+			t.Fatalf("dropped truncate must report success: %v", err)
+		}
+		if info, _ := base.Stat("/f"); info.Size != 1000 {
+			t.Fatalf("dropped truncate still resized to %d", info.Size)
+		}
+		mut, fired := inj.Fired()
+		if !fired || !mut.Dropped || mut.Offset != 100 {
+			t.Fatalf("mutation: %+v fired=%v", mut, fired)
+		}
+		// Single-shot: the next truncate goes through.
+		if err := fs.Truncate("/f", 100); err != nil {
+			t.Fatal(err)
+		}
+		if info, _ := base.Stat("/f"); info.Size != 100 {
+			t.Fatalf("subsequent truncate suppressed (size %d)", info.Size)
+		}
+	})
+	t.Run("bitflip-handle-level", func(t *testing.T) {
+		base := vfs.NewMemFS()
+		vfs.WriteFile(base, "/f", bytes.Repeat([]byte{1}, 1000))
+		sig := Config{Model: BitFlip, Primitive: vfs.PrimTruncate}.Signature()
+		inj := NewInjector(sig, 0, stats.NewRNG(43))
+		fs := inj.Wrap(base)
+		f, err := fs.Append("/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Truncate(500); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		mut, fired := inj.Fired()
+		if !fired || mut.NewSize == 500 || mut.Offset != 500 {
+			t.Fatalf("mutation: %+v fired=%v", mut, fired)
+		}
+		info, _ := base.Stat("/f")
+		if info.Size != mut.NewSize {
+			t.Fatalf("file size %d, mutation recorded %d", info.Size, mut.NewSize)
+		}
+		// The flip stays within the significant bytes of the size argument:
+		// no exabyte allocations.
+		if mut.NewSize < 0 || mut.NewSize > 0xFFFF {
+			t.Fatalf("corrupted size %d escaped the significant bytes of 500", mut.NewSize)
+		}
+	})
+	t.Run("campaign-not-all-benign", func(t *testing.T) {
+		w := Workload{
+			Name:  "trunc-toy",
+			Setup: func(fs vfs.FS) error { return fs.MkdirAll("/out") },
+			Run: func(fs vfs.FS) error {
+				if err := vfs.WriteFile(fs, "/out/d", bytes.Repeat([]byte{9}, 4096)); err != nil {
+					return err
+				}
+				return fs.Truncate("/out/d", 2048)
+			},
+			Classify: func(fs vfs.FS, runErr error) classify.Outcome {
+				if runErr != nil {
+					return classify.Crash
+				}
+				if info, err := fs.Stat("/out/d"); err != nil || info.Size != 2048 {
+					return classify.SDC
+				}
+				return classify.Benign
+			},
+		}
+		res, err := Campaign(CampaignConfig{
+			Fault: Config{Model: DroppedWrite, Primitive: vfs.PrimTruncate},
+			Runs:  4,
+			Seed:  1,
+		}, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ProfileCount != 1 {
+			t.Fatalf("profiled %d truncates, want 1", res.ProfileCount)
+		}
+		if got := res.Tally.Count(classify.SDC); got != 4 {
+			t.Fatalf("dropped-truncate campaign SDC = %d/4 (dead primitive regressed)\n%+v", got, res.Tally)
+		}
+	})
+}
+
+// TestSignatureValidationRejectsUnhostable is the other half of the
+// dead-primitive fix: combinations the injector cannot host are a
+// configuration error, not a silently-benign campaign.
+func TestSignatureValidationRejectsUnhostable(t *testing.T) {
+	bad := []Config{
+		{Model: ShornWrite, Primitive: vfs.PrimTruncate},
+		{Model: BitFlip, Primitive: vfs.PrimStat},
+		{Model: DroppedWrite, Primitive: vfs.PrimRead},
+		{Model: ReadBitFlip, Primitive: vfs.PrimWrite},
+		{Model: LatentCorruption, Primitive: vfs.PrimChmod},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Signature().Validate(); err == nil {
+			t.Errorf("%s validated, want rejection", cfg.Signature())
+		}
+		if _, err := Campaign(CampaignConfig{Fault: cfg, Runs: 1}, toyWorkload()); err == nil {
+			t.Errorf("%s: Campaign accepted an unhostable signature", cfg.Signature())
+		}
+		grid := (&Engine{Jobs: 1}).Run([]CampaignSpec{{
+			Key: "bad", Workload: toyWorkload(),
+			Config: CampaignConfig{Fault: cfg, Runs: 1},
+		}})
+		if grid[0].Err == nil {
+			t.Errorf("%s: Engine accepted an unhostable signature", cfg.Signature())
+		}
+	}
+	for _, m := range AllModels() {
+		if err := (Config{Model: m}).Signature().Validate(); err != nil {
+			t.Errorf("default signature for %s rejected: %v", m, err)
+		}
+	}
+}
+
+// TestZeroLengthWriteDoesNotConsumeShot is the regression test for the
+// empty-buffer claim bug: a 0-byte write used to burn the injector's single
+// shot (recording a BitPos:-1 no-op mutation), so the run tallied as
+// injected with no fault on the device.
+func TestZeroLengthWriteDoesNotConsumeShot(t *testing.T) {
+	base := vfs.NewMemFS()
+	inj := newWriteInjector(BitFlip, 0, 47)
+	fs := inj.Wrap(base)
+	f, _ := fs.Create("/f")
+	if _, err := f.Write(nil); err != nil { // empty: must not claim
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{}, 0); err != nil { // empty: must not claim
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0x00}, 128)
+	if _, err := f.Write(payload); err != nil { // first real write: target 0
+		t.Fatal(err)
+	}
+	f.Close()
+	mut, fired := inj.Fired()
+	if !fired {
+		t.Fatal("injector never fired: the 0-byte write consumed the shot")
+	}
+	if mut.Length != 128 || mut.BitPos < 0 {
+		t.Fatalf("fault landed on the empty write: %+v", mut)
+	}
+	got, _ := vfs.ReadFile(base, "/f")
+	diffs := 0
+	for _, b := range got {
+		diffs += popcount(b)
+	}
+	if diffs != 2 {
+		t.Fatalf("device saw %d flipped bits, want 2", diffs)
+	}
+}
+
+// TestZeroLengthWriteProfileAlignment pins the profiler/injector index
+// space: with an empty write mixed into the stream, every target drawn
+// from [0, profile count) must still land on a real write and fire.
+func TestZeroLengthWriteProfileAlignment(t *testing.T) {
+	w := Workload{
+		Name:  "zero-mix",
+		Setup: func(fs vfs.FS) error { return fs.MkdirAll("/out") },
+		Run: func(fs vfs.FS) error {
+			f, err := fs.Create("/out/d")
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			for i := 0; i < 4; i++ {
+				if _, err := f.Write([]byte{byte(i), byte(i)}); err != nil {
+					return err
+				}
+				if _, err := f.Write(nil); err != nil { // empty flush
+					return err
+				}
+			}
+			return nil
+		},
+	}
+	sig := Config{Model: BitFlip}.Signature()
+	count, err := Profile(w, sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 4 {
+		t.Fatalf("profiled %d writes, want 4 (empty writes must not count)", count)
+	}
+	for target := int64(0); target < count; target++ {
+		rec, err := RunOnce(w, sig, target, stats.NewRNG(61))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rec.Fired {
+			t.Fatalf("target %d never fired: profile and claim index spaces disagree", target)
+		}
+		if rec.Mutation.Length != 2 {
+			t.Fatalf("target %d landed on a %d-byte write", target, rec.Mutation.Length)
+		}
+	}
+}
+
+// seekBrokenFile wraps a File with a Seek that always fails, standing in
+// for a handle whose device cannot report its position.
+type seekBrokenFile struct {
+	vfs.File
+}
+
+var errSeekBroken = errors.New("seek broken")
+
+func (f seekBrokenFile) Seek(offset int64, whence int) (int64, error) {
+	return 0, errSeekBroken
+}
+
+type seekBrokenFS struct {
+	vfs.FS
+}
+
+func (s seekBrokenFS) Create(name string) (vfs.File, error) {
+	f, err := s.FS.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return seekBrokenFile{File: f}, nil
+}
+
+// TestArmedWriteSeekFailurePropagates is the regression test for the
+// silent `off = 0` fallback: when the device offset is unknown, the armed
+// write must fail instead of computing a shorn block plan against a
+// fabricated offset.
+func TestArmedWriteSeekFailurePropagates(t *testing.T) {
+	base := seekBrokenFS{FS: vfs.NewMemFS()}
+	inj := newWriteInjector(ShornWrite, 0, 53)
+	fs := inj.Wrap(base)
+	f, err := fs.Create("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = f.Write(bytes.Repeat([]byte{7}, 4096))
+	if !errors.Is(err, errSeekBroken) {
+		t.Fatalf("armed write err = %v, want the seek error propagated", err)
+	}
+	// The fabricated-offset path must not have recorded a mutation.
+	if mut, fired := inj.Fired(); fired {
+		t.Fatalf("mutation recorded against an unknown offset: %+v", mut)
+	}
+	// Unarmed writes through the same stack are untouched by the seek
+	// breakage (they never ask for the offset).
+	f2, _ := fs.Create("/g")
+	if _, err := f2.Write([]byte("ok")); err != nil {
+		t.Fatalf("pass-through write failed: %v", err)
 	}
 }
 

@@ -42,10 +42,45 @@ const (
 	// DroppedWrite discards the write entirely yet reports full success,
 	// modelling a write acknowledged by the device but never persisted.
 	DroppedWrite
+	// ReadBitFlip flips consecutive bits in the buffer returned by the
+	// target read instance — bit rot surfaced at read time. The fault is
+	// transient: the media is unchanged and only this one read observes the
+	// corruption (a re-read delivers clean data).
+	ReadBitFlip
+	// UnreadableSector fails the target read instance with EIO, modelling an
+	// uncorrectable ECC error: the device refuses to deliver the sector at
+	// all rather than deliver it silently corrupted.
+	UnreadableSector
+	// LatentCorruption mutates the target file's at-rest bytes in place when
+	// the target read instance executes — data corrupted between the
+	// producing and the consuming stage. Unlike ReadBitFlip the damage is
+	// durable: this read and every subsequent read (including the outcome
+	// classifier's) observe the same corrupted bytes.
+	LatentCorruption
 )
 
-// Models lists all fault models in presentation order (BF, SW, DW).
+// Models lists the write-path fault models in presentation order (BF, SW,
+// DW) — the Table I vocabulary Figure 7 sweeps.
 func Models() []FaultModel { return []FaultModel{BitFlip, ShornWrite, DroppedWrite} }
+
+// ReadModels lists the read-path fault models in presentation order (RB,
+// UR, LC): faults that surface when data is consumed, not produced.
+func ReadModels() []FaultModel {
+	return []FaultModel{ReadBitFlip, UnreadableSector, LatentCorruption}
+}
+
+// AllModels lists every fault model, write path first.
+func AllModels() []FaultModel { return append(Models(), ReadModels()...) }
+
+// IsRead reports whether the model hosts on the read path (its default
+// target primitive is read rather than write).
+func (m FaultModel) IsRead() bool {
+	switch m {
+	case ReadBitFlip, UnreadableSector, LatentCorruption:
+		return true
+	}
+	return false
+}
 
 func (m FaultModel) String() string {
 	switch m {
@@ -55,12 +90,19 @@ func (m FaultModel) String() string {
 		return "shorn-write"
 	case DroppedWrite:
 		return "dropped-write"
+	case ReadBitFlip:
+		return "read-bit-flip"
+	case UnreadableSector:
+		return "unreadable-sector"
+	case LatentCorruption:
+		return "latent-corruption"
 	default:
 		return fmt.Sprintf("fault-model(%d)", int(m))
 	}
 }
 
-// Short returns the two-letter code used in Figure 7 ("BF", "SW", "DW").
+// Short returns the two-letter code used in Figure 7 ("BF", "SW", "DW") and
+// its read-path extension ("RB", "UR", "LC").
 func (m FaultModel) Short() string {
 	switch m {
 	case BitFlip:
@@ -69,22 +111,38 @@ func (m FaultModel) Short() string {
 		return "SW"
 	case DroppedWrite:
 		return "DW"
+	case ReadBitFlip:
+		return "RB"
+	case UnreadableSector:
+		return "UR"
+	case LatentCorruption:
+		return "LC"
 	default:
 		return "??"
 	}
 }
 
 // Spec returns the Table I row for the model: which FUSE primitives can host
-// the fault and the key implementation feature.
+// the fault and the key implementation feature. The primitive list is the
+// authoritative hostable set — Signature.Validate rejects any combination
+// outside it, so a campaign can never arm a fault the injector silently
+// passes through.
 func (m FaultModel) Spec() (primitives []vfs.Primitive, feature string) {
-	prims := []vfs.Primitive{vfs.PrimWrite, vfs.PrimMknod, vfs.PrimChmod}
+	writePrims := []vfs.Primitive{vfs.PrimWrite, vfs.PrimMknod, vfs.PrimChmod}
+	readPrims := []vfs.Primitive{vfs.PrimRead}
 	switch m {
 	case BitFlip:
-		return prims, "flip consecutive multiple bits (default 2)"
+		return append(writePrims, vfs.PrimTruncate), "flip consecutive multiple bits (default 2)"
 	case ShornWrite:
-		return prims, "completely write the first 3/8th or 7/8th of each 4KB block at 512B granularity; reported size unchanged"
+		return writePrims, "completely write the first 3/8th or 7/8th of each 4KB block at 512B granularity; reported size unchanged"
 	case DroppedWrite:
-		return prims, "the write operation is ignored; success with the full size is returned"
+		return append(writePrims, vfs.PrimTruncate), "the write operation is ignored; success with the full size is returned"
+	case ReadBitFlip:
+		return readPrims, "flip consecutive multiple bits in the returned read buffer; media unchanged (transient)"
+	case UnreadableSector:
+		return readPrims, "the read fails with EIO (uncorrectable ECC); no data is delivered"
+	case LatentCorruption:
+		return readPrims, "flip consecutive bits in the at-rest bytes under the read range; every later read observes it"
 	default:
 		return nil, "unknown"
 	}
@@ -142,10 +200,28 @@ func (s Signature) String() string {
 	return fmt.Sprintf("%s@%s", s.Model, s.Primitive)
 }
 
+// Validate reports whether the injector can actually host this signature:
+// the primitive must be in the model's Spec() set. Campaign and Engine call
+// it before profiling, so a signature the injector would silently pass
+// through (e.g. shorn-write@truncate, or any model on stat) is a
+// configuration error instead of a campaign that profiles a nonzero count
+// and then tallies 100% benign.
+func (s Signature) Validate() error {
+	prims, _ := s.Model.Spec()
+	for _, p := range prims {
+		if p == s.Primitive {
+			return nil
+		}
+	}
+	return fmt.Errorf("core: injector cannot host %s: model %s hosts only %v", s, s.Model, prims)
+}
+
 // Config is the user configuration the fault generator consumes.
 type Config struct {
-	Model     FaultModel
-	Primitive vfs.Primitive // default: write, as in Section IV-B
+	Model FaultModel
+	// Primitive defaults to write for the write-path models (Section IV-B)
+	// and to read for the read-path models.
+	Primitive vfs.Primitive
 	Feature   Feature
 }
 
@@ -155,21 +231,32 @@ func (c Config) Signature() Signature {
 	prim := c.Primitive
 	if prim == "" {
 		prim = vfs.PrimWrite
+		if c.Model.IsRead() {
+			prim = vfs.PrimRead
+		}
 	}
 	return Signature{Model: c.Model, Primitive: prim, Feature: c.Feature.normalize()}
 }
 
-// Mutation describes what a fault model did to one intercepted write, for
-// logging and for tests that assert the corruption shape.
+// Mutation describes what a fault model did to one intercepted primitive
+// instance, for logging and for tests that assert the corruption shape.
 type Mutation struct {
 	Model   FaultModel
-	Path    string // file the write targeted
-	Offset  int64  // file offset of the write
+	Path    string // file the primitive targeted
+	Offset  int64  // file offset of the write/read; requested size for truncate
 	Length  int    // length of the original buffer
-	BitPos  int    // BitFlip: first flipped bit index within the buffer
+	BitPos  int    // bit-flip models: first flipped bit index within the buffer (-1: nothing to flip)
 	Kept    int    // ShornWrite: bytes actually persisted
-	Dropped bool   // DroppedWrite: write suppressed
+	Dropped bool   // DroppedWrite: write/truncate suppressed
 	Sectors int    // ShornWrite: sectors suppressed
+	// NewSize is the corrupted size a BitFlip@truncate actually applied.
+	NewSize int64
+	// Unreadable marks an UnreadableSector fault: the read failed with
+	// vfs.ErrUnreadable and delivered no data.
+	Unreadable bool
+	// Latent marks a LatentCorruption fault: the flip was written back to
+	// the at-rest bytes, so it outlives this read.
+	Latent bool
 }
 
 // mutateBitFlip returns a copy of buf with feature.FlipBits consecutive bits

@@ -31,6 +31,37 @@ func TestModelsOrder(t *testing.T) {
 	}
 }
 
+func TestReadModelStrings(t *testing.T) {
+	if ReadBitFlip.String() != "read-bit-flip" || ReadBitFlip.Short() != "RB" {
+		t.Error("read-bit-flip naming")
+	}
+	if UnreadableSector.String() != "unreadable-sector" || UnreadableSector.Short() != "UR" {
+		t.Error("unreadable-sector naming")
+	}
+	if LatentCorruption.String() != "latent-corruption" || LatentCorruption.Short() != "LC" {
+		t.Error("latent-corruption naming")
+	}
+}
+
+func TestAllModelsPartition(t *testing.T) {
+	all := AllModels()
+	if len(all) != 6 {
+		t.Fatalf("AllModels() = %v", all)
+	}
+	for i, m := range all {
+		if got, want := m.IsRead(), i >= 3; got != want {
+			t.Errorf("%s IsRead() = %v, want %v", m, got, want)
+		}
+		prims, feature := m.Spec()
+		if len(prims) == 0 || feature == "" {
+			t.Errorf("%s has empty spec", m)
+		}
+		if m.IsRead() && prims[0] != vfs.PrimRead {
+			t.Errorf("%s spec primitives = %v, want read first", m, prims)
+		}
+	}
+}
+
 func TestSpecListsWritePrimitive(t *testing.T) {
 	for _, m := range Models() {
 		prims, feature := m.Spec()

@@ -205,10 +205,22 @@ func fig7Spec(cellName string, w core.Workload, model core.FaultModel, o Options
 
 // Fig7Cell runs one campaign cell (application × fault model) on the
 // engine, so cmd/ffis single-cell invocations get the same COW-snapshot
-// fast path and progress stream as full grids.
+// fast path and progress stream as full grids. Read-path models run the
+// cell's producer→consumer pipeline variant: the standard Figure 7 phases
+// of nyx and qmcpack only write (analysis happens during classification),
+// so a read fault would have no dynamic instance to land on.
 func Fig7Cell(cell string, model core.FaultModel, o Options) (core.CampaignResult, error) {
 	o = o.normalize()
-	w, err := NewWorkload(cell, o)
+	var w core.Workload
+	var err error
+	if model.IsRead() {
+		w, err = NewPipelineWorkload(cell, o)
+		if err == nil && len(o.Mounts) > 0 {
+			w.NewFS = NewFSFromSpecs(o.Mounts)
+		}
+	} else {
+		w, err = NewWorkload(cell, o)
+	}
 	if err != nil {
 		return core.CampaignResult{}, err
 	}

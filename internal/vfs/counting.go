@@ -192,23 +192,36 @@ type countingFile struct {
 	fs *CountingFS
 }
 
+// Zero-length buffers are not counted as write/read instances: the
+// injector never claims them (an empty transfer has nothing to corrupt),
+// and the profiled count defines the injection target space, so the two
+// must agree on the instance index space.
+
 func (f *countingFile) Write(p []byte) (int, error) {
-	f.fs.bump(PrimWrite)
+	if len(p) > 0 {
+		f.fs.bump(PrimWrite)
+	}
 	return f.File.Write(p)
 }
 
 func (f *countingFile) WriteAt(p []byte, off int64) (int, error) {
-	f.fs.bump(PrimWrite)
+	if len(p) > 0 {
+		f.fs.bump(PrimWrite)
+	}
 	return f.File.WriteAt(p, off)
 }
 
 func (f *countingFile) Read(p []byte) (int, error) {
-	f.fs.bump(PrimRead)
+	if len(p) > 0 {
+		f.fs.bump(PrimRead)
+	}
 	return f.File.Read(p)
 }
 
 func (f *countingFile) ReadAt(p []byte, off int64) (int, error) {
-	f.fs.bump(PrimRead)
+	if len(p) > 0 {
+		f.fs.bump(PrimRead)
+	}
 	return f.File.ReadAt(p, off)
 }
 

@@ -120,3 +120,31 @@ func TestPrimitivesStable(t *testing.T) {
 		}
 	}
 }
+
+// TestCountingSkipsZeroLengthTransfers pins the profiler/injector contract:
+// the profiled count defines the injection target space, and the injector
+// never claims an empty transfer, so zero-length writes and reads must not
+// be counted as primitive instances.
+func TestCountingSkipsZeroLengthTransfers(t *testing.T) {
+	fs := NewCountingFS(NewMemFS())
+	f, err := fs.Create("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(nil)             // not an instance
+	f.WriteAt([]byte{}, 0)   // not an instance
+	f.Write([]byte("abc"))   // instance 0
+	f.WriteAt([]byte{1}, 10) // instance 1
+	buf := make([]byte, 4)
+	f.ReadAt(buf, 0) // instance 0
+	f.ReadAt(nil, 0) // not an instance
+	f.Read(buf[:0])  // not an instance
+	f.Read(buf)      // instance 1
+	f.Close()
+	if got := fs.Count(PrimWrite); got != 2 {
+		t.Fatalf("write count = %d, want 2 (zero-length writes counted)", got)
+	}
+	if got := fs.Count(PrimRead); got != 2 {
+		t.Fatalf("read count = %d, want 2 (zero-length reads counted)", got)
+	}
+}

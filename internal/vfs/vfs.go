@@ -45,6 +45,11 @@ var (
 	ErrClosed      = errors.New("vfs: file already closed")
 	ErrReadOnly    = errors.New("vfs: file opened read-only")
 	ErrDirNotEmpty = errors.New("vfs: directory not empty")
+	// ErrUnreadable is the EIO a device returns for an uncorrectable sector:
+	// the read fails, the data is not delivered, and retrying does not help.
+	// core's UnreadableSector fault model surfaces it through the armed read
+	// path; applications test for it with errors.Is like the other sentinels.
+	ErrUnreadable = errors.New("vfs: unreadable sector (EIO)")
 )
 
 // FileInfo describes a file or directory.
