@@ -139,7 +139,7 @@ func cachedWorkload(b *testing.B, cell string) core.Workload {
 	return workloadCache[cell]
 }
 
-func benchCell(b *testing.B, cell string, model core.FaultModel) {
+func benchCell(b *testing.B, cell string, model core.Model) {
 	w := cachedWorkload(b, cell)
 	opts := benchOpts()
 	var last classify.Tally

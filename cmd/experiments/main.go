@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"ffis/internal/core"
 	"ffis/internal/experiments"
@@ -42,10 +43,17 @@ func main() {
 		ablation = flag.Bool("ablation", false, "run the design-choice ablation sweeps")
 		detector = flag.Bool("detector-study", false, "run the Nyx with/without average-value comparison")
 		tiered   = flag.Bool("tiered", false, "run the tiered-storage placement sweep (fault tier vs clean tiers)")
-		rw       = flag.Bool("readwrite", false, "run the read-path vs write-path fault grid (BF/SW/DW vs RB/UR/LC)")
+		rw       = flag.Bool("readwrite", false, "run the read-path vs write-path fault grid over every registered model")
+		model    = flag.String("model", "", "restrict the -tiered sweep to one fault model (name, short code, or alias; default: the Table I write family)")
+		listOnly = flag.Bool("list-models", false, "print the fault-model registry table and exit")
 		outdir   = flag.String("outdir", "", "directory for image artifacts (Figures 5 and 9)")
 	)
 	flag.Parse()
+
+	if *listOnly || strings.EqualFold(*model, "list") {
+		fmt.Print(core.ModelTable())
+		return
+	}
 
 	o := experiments.Options{
 		Runs:           *runs,
@@ -167,8 +175,16 @@ func main() {
 		ranSomething = true
 	}
 	if *tiered || *all {
-		for _, model := range core.Models() {
-			out, _, err := experiments.Tiered(nil, model, o)
+		models := experiments.Fig7Models()
+		if *model != "" {
+			m, err := core.ParseModel(*model)
+			if err != nil {
+				die(err)
+			}
+			models = []core.Model{m}
+		}
+		for _, m := range models {
+			out, _, err := experiments.Tiered(nil, m, o)
 			if err != nil {
 				die(err)
 			}

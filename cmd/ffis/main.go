@@ -1,14 +1,18 @@
 // Command ffis runs a single fault-injection campaign cell: one application
-// (nyx, qmcpack, MT1..MT4) under one fault model — a write-path model (bf,
-// sw, dw) or a read-path model (read-bit-flip, unreadable, latent) —
-// mirroring the paper's per-cell methodology (profile, N randomized
-// injections, outcome classification).
+// (nyx, qmcpack, MT1..MT4) under one registered fault model, named by its
+// long name, short code, or alias — mirroring the paper's per-cell
+// methodology (profile, N randomized injections, outcome classification).
+// `ffis -list-models` (or `-model list`) prints the registry: any model
+// added there, including the misdirected-write and short-read extensions,
+// is immediately runnable with no CLI changes.
 //
 // Usage:
 //
 //	ffis -app nyx -model dw -runs 1000
 //	ffis -app MT2 -model sw -runs 200 -csv
 //	ffis -app MT2 -model latent -runs 200
+//	ffis -app MT2 -model misdirected-write -runs 200
+//	ffis -list-models
 //
 // Tiered storage: -mount builds a multi-backend world (repeatable, syntax
 // PATH[=BACKEND]; campaigns require the hermetic mem backend) and -arm
@@ -44,7 +48,8 @@ func (l *stringList) Set(v string) error {
 func main() {
 	var (
 		app       = flag.String("app", "nyx", "campaign cell: nyx, qmcpack, MT1, MT2, MT3, MT4")
-		model     = flag.String("model", "bf", "fault model: bf (bit flip), sw (shorn write), dw (dropped write), read-bit-flip, unreadable, latent")
+		model     = flag.String("model", "bf", "fault model name, short code, or alias (see -list-models); 'list' prints the registry")
+		listOnly  = flag.Bool("list-models", false, "print the fault-model registry table and exit")
 		runs      = flag.Int("runs", 1000, "fault-injection runs (the paper uses 1000)")
 		seed      = flag.Uint64("seed", 2021, "campaign seed")
 		workers   = flag.Int("workers", 0, "parallel runs (0 = GOMAXPROCS)")
@@ -61,22 +66,13 @@ func main() {
 	flag.Var(&armMounts, "arm", "arm the injector only on this mount point (repeatable; requires -mount)")
 	flag.Parse()
 
-	var fm core.FaultModel
-	switch strings.ToLower(*model) {
-	case "bf", "bitflip", "bit-flip":
-		fm = core.BitFlip
-	case "sw", "shorn", "shorn-write":
-		fm = core.ShornWrite
-	case "dw", "dropped", "dropped-write":
-		fm = core.DroppedWrite
-	case "rb", "read-bit-flip", "read-bitflip":
-		fm = core.ReadBitFlip
-	case "ur", "unreadable", "unreadable-sector":
-		fm = core.UnreadableSector
-	case "lc", "latent", "latent-corruption":
-		fm = core.LatentCorruption
-	default:
-		fmt.Fprintf(os.Stderr, "ffis: unknown fault model %q\n", *model)
+	if *listOnly || strings.EqualFold(*model, "list") {
+		fmt.Print(core.ModelTable())
+		return
+	}
+	fm, err := core.ParseModel(*model)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ffis: %v\n", err)
 		os.Exit(2)
 	}
 

@@ -26,7 +26,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		sig := core.Config{Model: core.ShornWrite}.Signature()
+		sig := core.Config{Model: core.MustModel("shorn-write")}.Signature()
 		count, err := core.Profile(app.Workload(), sig)
 		if err != nil {
 			log.Fatal(err)

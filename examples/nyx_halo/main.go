@@ -25,7 +25,7 @@ func main() {
 	fmt.Printf("golden halo catalog:\n%s\n", app.Golden())
 
 	// Inject a dropped write into the middle of the data stream.
-	sig := core.Config{Model: core.DroppedWrite}.Signature()
+	sig := core.Config{Model: core.MustModel("dropped-write")}.Signature()
 	count, err := core.Profile(app.Workload(), sig)
 	if err != nil {
 		log.Fatal(err)

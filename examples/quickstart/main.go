@@ -33,7 +33,7 @@ func main() {
 	}
 
 	// 1. Fault generator: build the fault signature (bit flip @ write).
-	sig := core.Config{Model: core.BitFlip}.Signature()
+	sig := core.Config{Model: core.MustModel("bit-flip")}.Signature()
 	fmt.Printf("fault signature: %s (flip %d consecutive bits)\n", sig, sig.Feature.FlipBits)
 
 	// 2. I/O profiler: count dynamic executions of the target primitive.

@@ -42,7 +42,7 @@ func main() {
 
 	// ... but the injector is armed on the scratch tier only: the view
 	// `armed` shares storage with `world`, differing only in the wrapper.
-	sig := core.Config{Model: core.BitFlip}.Signature()
+	sig := core.Config{Model: core.MustModel("bit-flip")}.Signature()
 	inj := core.NewInjector(sig, 0, stats.NewRNG(2021))
 	armed, err := world.WithInterposed("/scratch", inj.Wrap)
 	if err != nil {
@@ -70,7 +70,7 @@ func main() {
 	// placements for Nyx (writes plotfiles to scratch) and Montage stage 4
 	// (writes the mosaic to the output tier), at demo scale.
 	fmt.Println()
-	table, _, err := experiments.Tiered([]string{"nyx", "MT4"}, core.DroppedWrite, experiments.Options{
+	table, _, err := experiments.Tiered([]string{"nyx", "MT4"}, core.MustModel("dropped-write"), experiments.Options{
 		Runs: 40,
 		Seed: 2021,
 		NyxN: 24,

@@ -1,0 +1,324 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ffis/internal/stats"
+	"ffis/internal/vfs"
+)
+
+// The registry conformance suite: every registered model — built-in or
+// added later — must satisfy the contract the campaign machinery assumes.
+// A new model that registers but breaks identity uniqueness, claims shots
+// it never records, fires on primitives outside Hosts(), burns its shot on
+// zero-length I/O, or mutates non-deterministically under a fixed RNG
+// stream fails here, before any campaign tallies nonsense.
+
+// conformancePrims is the set of primitives the injector can intercept at
+// all; Hosts() entries outside it could never fire.
+var conformancePrims = []vfs.Primitive{
+	vfs.PrimWrite, vfs.PrimRead, vfs.PrimTruncate, vfs.PrimMknod, vfs.PrimChmod,
+}
+
+// conformanceWorld builds a base world with a seeded victim file for the
+// read/truncate/chmod exercises.
+func conformanceWorld(t *testing.T) vfs.FS {
+	t.Helper()
+	base := vfs.NewMemFS()
+	payload := bytes.Repeat([]byte{0xC3, 0x5A, 0x0F, 0x99}, 2048) // 8 KiB
+	if err := vfs.WriteFile(base, "/victim", payload); err != nil {
+		t.Fatal(err)
+	}
+	return base
+}
+
+// exercisePrimitive performs one dynamic instance of prim through fs,
+// against path. Errors from the primitive itself are returned (some models
+// fail the op by design — unreadable sectors); setup errors are fatal.
+func exercisePrimitive(t *testing.T, fs vfs.FS, prim vfs.Primitive, path string) error {
+	t.Helper()
+	switch prim {
+	case vfs.PrimWrite:
+		f, err := fs.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		_, werr := f.Write(bytes.Repeat([]byte{0xAB}, 4096))
+		return werr
+	case vfs.PrimRead:
+		f, err := fs.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		_, rerr := f.Read(make([]byte, 1024))
+		return rerr
+	case vfs.PrimTruncate:
+		return fs.Truncate(path, 100)
+	case vfs.PrimMknod:
+		return fs.Mknod(path+".node", 0o600, 7)
+	case vfs.PrimChmod:
+		return fs.Chmod(path, 0o640)
+	default:
+		t.Fatalf("conformance: no exercise for primitive %s", prim)
+		return nil
+	}
+}
+
+// primTarget returns the path exercisePrimitive operates on for prim: the
+// write path creates its own file, everything else hits the seeded victim.
+func primTarget(prim vfs.Primitive) string {
+	if prim == vfs.PrimWrite {
+		return "/fresh"
+	}
+	return "/victim"
+}
+
+func TestConformanceUniqueIdentity(t *testing.T) {
+	names := map[string]string{}
+	shorts := map[string]string{}
+	for _, m := range AllModels() {
+		name, short := m.Name(), m.Short()
+		if name == "" || short == "" {
+			t.Errorf("%T has empty identity", m)
+		}
+		if prev, dup := names[strings.ToLower(name)]; dup {
+			t.Errorf("duplicate model name %q (%s)", name, prev)
+		}
+		if prev, dup := shorts[strings.ToLower(short)]; dup {
+			t.Errorf("duplicate short code %q (%s vs %s)", short, prev, name)
+		}
+		names[strings.ToLower(name)] = name
+		shorts[strings.ToLower(short)] = name
+		// Both identities must round-trip through the shared parser,
+		// case-insensitively.
+		for _, key := range []string{name, short, strings.ToUpper(name), strings.ToLower(short)} {
+			got, err := ParseModel(key)
+			if err != nil || got != m {
+				t.Errorf("ParseModel(%q) = %v, %v; want %s", key, got, err, name)
+			}
+		}
+	}
+}
+
+func TestConformanceHostsWithinInjectorSurface(t *testing.T) {
+	for _, m := range AllModels() {
+		if len(m.Hosts()) == 0 {
+			t.Errorf("%s hosts nothing", m.Name())
+			continue
+		}
+		for _, h := range m.Hosts() {
+			ok := false
+			for _, p := range conformancePrims {
+				if p == h {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Errorf("%s hosts %s, which the injector never intercepts", m.Name(), h)
+			}
+		}
+	}
+}
+
+// TestConformanceHostsFire asserts the positive half of the Hosts()
+// contract: arming any hosted primitive at target 0 and executing one
+// instance must fire and record a mutation stamped with the model.
+func TestConformanceHostsFire(t *testing.T) {
+	for _, m := range AllModels() {
+		for _, prim := range m.Hosts() {
+			t.Run(m.Name()+"/"+string(prim), func(t *testing.T) {
+				base := conformanceWorld(t)
+				sig := Config{Model: m, Primitive: prim}.Signature()
+				if err := sig.Validate(); err != nil {
+					t.Fatalf("signature for hosted primitive rejected: %v", err)
+				}
+				inj := NewInjector(sig, 0, stats.NewRNG(99))
+				exercisePrimitive(t, inj.Wrap(base), prim, primTarget(prim))
+				if inj.Count() == 0 {
+					t.Fatalf("injector never saw the %s instance", prim)
+				}
+				mut, fired := inj.Fired()
+				if !fired {
+					t.Fatalf("%s claims to host %s but the claimed shot recorded nothing", m.Name(), prim)
+				}
+				if mut.Model != m {
+					t.Fatalf("mutation stamped with %v, want %s", mut.Model, m.Name())
+				}
+				if mut.String() == "" {
+					t.Fatal("mutation renders empty")
+				}
+			})
+		}
+	}
+}
+
+// TestConformanceUnhostedPassThrough asserts the negative half: arming a
+// primitive outside Hosts() must never record a fault, and the primitive's
+// effect must be transparent.
+func TestConformanceUnhostedPassThrough(t *testing.T) {
+	for _, m := range AllModels() {
+		hosted := map[vfs.Primitive]bool{}
+		for _, h := range m.Hosts() {
+			hosted[h] = true
+		}
+		for _, prim := range conformancePrims {
+			if hosted[prim] {
+				continue
+			}
+			t.Run(m.Name()+"/"+string(prim), func(t *testing.T) {
+				sig := Config{Model: m, Primitive: prim}.Signature()
+				if err := sig.Validate(); err == nil {
+					t.Errorf("Validate accepted unhosted %s@%s", m.Name(), prim)
+				}
+				base := conformanceWorld(t)
+				inj := NewInjector(sig, 0, stats.NewRNG(99))
+				if err := exercisePrimitive(t, inj.Wrap(base), prim, primTarget(prim)); err != nil {
+					t.Fatalf("pass-through %s failed: %v", prim, err)
+				}
+				if mut, fired := inj.Fired(); fired {
+					t.Fatalf("unhosted primitive recorded a mutation: %s", mut)
+				}
+				if prim == vfs.PrimWrite {
+					got, err := vfs.ReadFile(base, "/fresh")
+					if err != nil || !bytes.Equal(got, bytes.Repeat([]byte{0xAB}, 4096)) {
+						t.Fatal("pass-through write altered data")
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestConformanceSingleShot asserts claim semantics: the target index
+// selects exactly one dynamic instance, and later instances pass through
+// with the mutation record unchanged.
+func TestConformanceSingleShot(t *testing.T) {
+	for _, m := range AllModels() {
+		prim := m.Hosts()[0]
+		t.Run(m.Name(), func(t *testing.T) {
+			paths := []string{"/victim", "/victim2"}
+			for target, wantPath := range paths {
+				base := conformanceWorld(t)
+				payload := bytes.Repeat([]byte{0x11}, 8192)
+				if err := vfs.WriteFile(base, "/victim2", payload); err != nil {
+					t.Fatal(err)
+				}
+				if prim == vfs.PrimWrite {
+					// The write exercise creates its target; give each
+					// instance its own destination file.
+					paths = []string{"/fresh", "/fresh2"}
+					wantPath = paths[target]
+				}
+				inj := NewInjector(Config{Model: m, Primitive: prim}.Signature(), int64(target), stats.NewRNG(5))
+				fs := inj.Wrap(base)
+				for _, p := range paths {
+					exercisePrimitive(t, fs, prim, p)
+				}
+				mut, fired := inj.Fired()
+				if !fired {
+					t.Fatalf("target %d never fired", target)
+				}
+				want := wantPath
+				if prim == vfs.PrimMknod {
+					want += ".node"
+				}
+				if mut.Path != want {
+					t.Fatalf("target %d struck %s, want %s", target, mut.Path, want)
+				}
+				if got := inj.Count(); got != int64(len(paths)) {
+					t.Fatalf("count = %d, want %d (later instances must still be counted)", got, len(paths))
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceZeroLengthIO asserts that zero-length reads and writes
+// never consume the single shot: the fault must land on I/O that actually
+// moves bytes.
+func TestConformanceZeroLengthIO(t *testing.T) {
+	for _, m := range AllModels() {
+		for _, prim := range m.Hosts() {
+			if prim != vfs.PrimWrite && prim != vfs.PrimRead {
+				continue
+			}
+			t.Run(m.Name()+"/"+string(prim), func(t *testing.T) {
+				base := conformanceWorld(t)
+				inj := NewInjector(Config{Model: m, Primitive: prim}.Signature(), 0, stats.NewRNG(5))
+				fs := inj.Wrap(base)
+				if prim == vfs.PrimWrite {
+					f, err := fs.Create("/z")
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, err := f.Write(nil); err != nil {
+						t.Fatal(err)
+					}
+					f.Close()
+				} else {
+					f, err := fs.Open("/victim")
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, err := f.Read([]byte{}); err != nil {
+						t.Fatal(err)
+					}
+					f.Close()
+				}
+				if inj.Count() != 0 {
+					t.Fatal("zero-length I/O consumed the claim counter")
+				}
+				if _, fired := inj.Fired(); fired {
+					t.Fatal("zero-length I/O fired the shot")
+				}
+				// The next real instance must still be corruptible.
+				exercisePrimitive(t, fs, prim, primTarget(prim))
+				if _, fired := inj.Fired(); !fired {
+					t.Fatal("shot was not preserved for the first real instance")
+				}
+			})
+		}
+	}
+}
+
+// TestConformanceDeterministicMutation asserts that a model's corruption is
+// a pure function of the RNG stream: identical seeds must give identical
+// mutation records and identical post-fault file bytes.
+func TestConformanceDeterministicMutation(t *testing.T) {
+	for _, m := range AllModels() {
+		for _, prim := range m.Hosts() {
+			t.Run(m.Name()+"/"+string(prim), func(t *testing.T) {
+				run := func() (Mutation, []byte) {
+					base := conformanceWorld(t)
+					inj := NewInjector(Config{Model: m, Primitive: prim}.Signature(), 0, stats.NewRNG(12345))
+					exercisePrimitive(t, inj.Wrap(base), prim, primTarget(prim))
+					mut, fired := inj.Fired()
+					if !fired {
+						t.Fatal("shot never fired")
+					}
+					data, err := vfs.ReadFile(base, mut.Path)
+					if err != nil {
+						data = nil // mknod nodes and dropped creations have no bytes
+					}
+					return mut, data
+				}
+				m1, d1 := run()
+				m2, d2 := run()
+				// DeepEqual, not ==: a registered model whose struct type
+				// has uncomparable fields must fail this suite with a diff,
+				// not a comparison panic.
+				if !reflect.DeepEqual(m1, m2) {
+					t.Fatalf("mutation not deterministic:\n  %+v\n  %+v", m1, m2)
+				}
+				if !bytes.Equal(d1, d2) {
+					t.Fatal("post-fault bytes not deterministic")
+				}
+			})
+		}
+	}
+}

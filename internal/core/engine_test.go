@@ -10,6 +10,10 @@ import (
 	"ffis/internal/vfs"
 )
 
+// writeTrio is the paper's Table I write vocabulary, the model axis the
+// engine determinism tests sweep.
+func writeTrio() []Model { return []Model{BitFlip, ShornWrite, DroppedWrite} }
+
 // requireSameResult asserts two campaign results are bit-for-bit the same
 // observation: identical profile counts, tallies, and per-run records
 // (target draw, outcome, fired flag, and the full Mutation).
@@ -51,7 +55,7 @@ func TestCampaignDeterminismHarness(t *testing.T) {
 		{name: "tiered-scratch", workload: tieredWorkload, armMounts: []string{"/scratch"}},
 	}
 	for _, c := range cases {
-		for _, model := range Models() {
+		for _, model := range writeTrio() {
 			c, model := c, model
 			t.Run(fmt.Sprintf("%s/%s", c.name, model.Short()), func(t *testing.T) {
 				run := func(workers int, fresh bool) CampaignResult {
@@ -82,7 +86,7 @@ func TestCampaignDeterminismHarness(t *testing.T) {
 func gridSpecs(runs int) []CampaignSpec {
 	var specs []CampaignSpec
 	for _, w := range []Workload{toyWorkload(), tieredWorkload()} {
-		for _, model := range Models() {
+		for _, model := range writeTrio() {
 			var arm []string
 			if w.NewFS != nil {
 				arm = []string{"/scratch"}
@@ -190,7 +194,7 @@ func TestEngineMemoizesWorldAndProfile(t *testing.T) {
 	}
 	const runsPerSpec = 10
 	var specs []CampaignSpec
-	for _, model := range Models() {
+	for _, model := range writeTrio() {
 		specs = append(specs, CampaignSpec{
 			Key:      "memo/" + model.Short(),
 			WorldKey: "memo-world",

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+
+	"ffis/internal/vfs"
+)
+
+// This file defines the contract between the injector and a fault model's
+// hooks: the op structs describe the one claimed primitive instance, the
+// action structs tell the injector how to complete it, and BaseModel
+// supplies pass-through hooks so a model implements only the injection
+// sites it hosts.
+
+// WriteOp describes one claimed write instance (sequential Write or
+// positional WriteAt — the paper funnels both into FFIS_write).
+type WriteOp struct {
+	// File is the underlying, uninstrumented handle of the file being
+	// written: models may read the device's previous content through it
+	// (shorn writes) or persist bytes elsewhere themselves (misdirected
+	// writes) without re-entering the injector.
+	File vfs.File
+	// Path names the file the primitive targeted.
+	Path string
+	// Buf is the application's write buffer; hooks must not modify it in
+	// place (return a mutated copy in WriteAction.Buf instead).
+	Buf []byte
+	// Off is the device offset the write lands at.
+	Off int64
+}
+
+// WriteAction tells the injector how to complete an intercepted write.
+type WriteAction struct {
+	// Buf is the buffer actually handed to the device (ignored when Skip).
+	Buf []byte
+	// Skip suppresses the device write entirely while acknowledging full
+	// success to the application — the sequential offset still advances,
+	// as a device that lied about persisting would leave it.
+	Skip bool
+}
+
+// ReadOp describes one claimed read instance (sequential Read or positional
+// ReadAt). The hook owns the whole read: nothing has touched the device
+// when it runs.
+type ReadOp struct {
+	// File is the underlying handle of the file being read.
+	File vfs.File
+	// FS is the uninstrumented view at the same path-translation layer:
+	// models that corrupt at-rest bytes open a writable side handle on it
+	// without re-entering the injector.
+	FS vfs.FS
+	// Path names the file the primitive targeted.
+	Path string
+	// Buf is the application's destination buffer.
+	Buf []byte
+	// Off is the device offset of the read, or -1 when unknown; OffErr
+	// then carries why (a sequential handle whose position query failed).
+	Off    int64
+	OffErr error
+	// Do performs the underlying device read into p at this op's position
+	// (sequential or positional, matching the intercepted call). Hooks
+	// that model delivery failure never invoke it; hooks that shorten the
+	// read pass a prefix of Buf.
+	Do func(p []byte) (int, error)
+}
+
+// TruncateOp describes one claimed truncate instance; the requested size
+// plays the role of the write buffer.
+type TruncateOp struct {
+	Path string
+	Size int64
+}
+
+// TruncateAction tells the injector how to complete an intercepted
+// truncate.
+type TruncateAction struct {
+	// Size is the (possibly corrupted) size actually applied.
+	Size int64
+	// Drop suppresses the truncate entirely while acknowledging success.
+	Drop bool
+}
+
+// MetaOp describes one claimed metadata instance: a mknod or chmod call
+// (per Primitive) whose mode/dev arguments are the buffer.
+type MetaOp struct {
+	Primitive vfs.Primitive
+	Path      string
+	Mode      uint32
+	Dev       uint64
+}
+
+// MetaAction tells the injector how to complete an intercepted metadata
+// call.
+type MetaAction struct {
+	Mode uint32
+	Dev  uint64
+	// Drop suppresses the call entirely while acknowledging success.
+	Drop bool
+}
+
+// BaseModel provides pass-through implementations of every hook, so a
+// model embeds it and overrides only the injection sites named in its
+// Hosts() list. A pass-through hook performs the primitive unchanged and
+// records nothing — reaching one at runtime means Hosts() promised a site
+// the model never implemented, which the registry conformance suite flags.
+type BaseModel struct{}
+
+// MutateWrite passes the write through unchanged.
+func (BaseModel) MutateWrite(env Env, op WriteOp) WriteAction {
+	return WriteAction{Buf: op.Buf}
+}
+
+// MutateRead performs the underlying read unchanged.
+func (BaseModel) MutateRead(env Env, op ReadOp) (int, error) {
+	return op.Do(op.Buf)
+}
+
+// MutateTruncate applies the requested size unchanged.
+func (BaseModel) MutateTruncate(env Env, op TruncateOp) TruncateAction {
+	return TruncateAction{Size: op.Size}
+}
+
+// MutateMeta applies the metadata arguments unchanged.
+func (BaseModel) MutateMeta(env Env, op MetaOp) MetaAction {
+	return MetaAction{Mode: op.Mode, Dev: op.Dev}
+}
+
+// RenderMutation formats a mutation generically from the fixed fields plus
+// the model-specific Detail, so a model without bespoke rendering still
+// logs readably.
+func (BaseModel) RenderMutation(m Mutation) string {
+	name := "mutation"
+	if m.Model != nil {
+		name = m.Model.Name()
+	}
+	line := fmt.Sprintf("%s %s off=%d len=%d", name, m.Path, m.Offset, m.Length)
+	if m.Detail != "" {
+		line += " " + m.Detail
+	}
+	return line
+}

@@ -16,6 +16,13 @@ import (
 // injector does: "for each fault injection run, it first generates a random
 // number from 0 to count-1 ... when the execution count of the target
 // primitive hits that random number, the fault injector applies the fault".
+//
+// The injector knows nothing about individual fault models: once its single
+// shot is claimed on the armed primitive, it hands the instance to the
+// signature's Model hook (MutateWrite/MutateRead/MutateTruncate/MutateMeta)
+// and completes the primitive the way the returned action dictates. Models
+// are therefore free to ship as self-contained registrations — no dispatch
+// switch here grows when the vocabulary does.
 type Injector struct {
 	sig    Signature
 	target int64
@@ -87,6 +94,41 @@ func (inj *Injector) flip(buf []byte) ([]byte, Mutation) {
 	return mutateBitFlip(buf, inj.sig.Feature, inj.rng)
 }
 
+// env packages the injector state a model hook may touch.
+func (inj *Injector) env() Env { return Env{inj: inj} }
+
+// Env is the capability a fault-model hook receives from the injector: the
+// normalized feature tunables, the shared (mutex-guarded) RNG stream, and
+// the mutation recorder. Hooks draw all their randomness through Env so
+// concurrent handles can never race on the RNG and campaign determinism
+// is preserved no matter which model fires.
+type Env struct {
+	inj *Injector
+}
+
+// Feature returns the signature's normalized tunables.
+func (e Env) Feature() Feature { return e.inj.sig.Feature }
+
+// Flip returns a copy of buf with Feature().FlipBits consecutive bits
+// flipped at a random position, drawing from the injector's RNG under its
+// mutex. The returned mutation carries only BitPos and Length; the hook
+// stamps Model, Path, and Offset before recording.
+func (e Env) Flip(buf []byte) ([]byte, Mutation) { return e.inj.flip(buf) }
+
+// Intn draws a uniform int in [0, n) from the injector's RNG under its
+// mutex.
+func (e Env) Intn(n int) int {
+	e.inj.mu.Lock()
+	defer e.inj.mu.Unlock()
+	return e.inj.rng.Intn(n)
+}
+
+// Record stores the mutation as the injector's fired record; Fired()
+// reports it and the campaign runner logs it. Every hook must record
+// exactly what it did — an unrecorded shot tallies the run as never
+// injected.
+func (e Env) Record(m Mutation) { e.inj.record(m) }
+
 // Wrap returns a file system that behaves exactly like inner except for the
 // single corrupted primitive instance.
 func (inj *Injector) Wrap(inner vfs.FS) vfs.FS {
@@ -94,7 +136,7 @@ func (inj *Injector) Wrap(inner vfs.FS) vfs.FS {
 }
 
 // InjectorFS is the FFIS interposition layer (Figure 2): a drop-in vfs.FS
-// whose write-side primitives consult the injector before delegating.
+// whose primitives consult the injector before delegating.
 type InjectorFS struct {
 	inner vfs.FS
 	inj   *Injector
@@ -104,9 +146,10 @@ func (f *InjectorFS) wrapFile(file vfs.File, err error) (vfs.File, error) {
 	if err != nil {
 		return nil, err
 	}
-	// fs is the uninstrumented view at the same path-translation layer: the
-	// latent-corruption model uses it to open a writable side handle onto
-	// the file being read without re-entering the injector.
+	// fs is the uninstrumented view at the same path-translation layer:
+	// models that need a side handle onto the file being read or written
+	// (latent corruption's at-rest mutation) open it here without
+	// re-entering the injector.
 	return &injectorFile{File: file, inj: f.inj, fs: f.inner}, nil
 }
 
@@ -152,24 +195,15 @@ func (f *InjectorFS) ReadDir(name string) ([]vfs.FileInfo, error) {
 
 // Mknod hosts faults when the signature targets the mknod primitive
 // (Table I lists FFIS_mknod as a host): the mode/dev arguments are treated
-// as the write buffer.
+// as the write buffer and handed to the model's metadata hook.
 func (f *InjectorFS) Mknod(name string, mode uint32, dev uint64) error {
 	if f.inj.sig.Primitive == vfs.PrimMknod && f.inj.claim() {
-		switch f.inj.sig.Model {
-		case BitFlip:
-			buf := []byte{byte(mode), byte(mode >> 8), byte(mode >> 16), byte(mode >> 24)}
-			mut, m := f.inj.flip(buf)
-			m.Path = name
-			f.inj.record(m)
-			mode = uint32(mut[0]) | uint32(mut[1])<<8 | uint32(mut[2])<<16 | uint32(mut[3])<<24
-		case DroppedWrite:
-			f.inj.record(Mutation{Model: DroppedWrite, Path: name, Dropped: true})
+		act := f.inj.sig.Model.MutateMeta(f.inj.env(),
+			MetaOp{Primitive: vfs.PrimMknod, Path: name, Mode: mode, Dev: dev})
+		if act.Drop {
 			return nil // node silently never created
-		case ShornWrite:
-			// A shorn mknod persists the mode but loses the device number.
-			f.inj.record(Mutation{Model: ShornWrite, Path: name, Kept: 4})
-			dev = 0
 		}
+		mode, dev = act.Mode, act.Dev
 	}
 	return f.inner.Mknod(name, mode, dev)
 }
@@ -177,81 +211,41 @@ func (f *InjectorFS) Mknod(name string, mode uint32, dev uint64) error {
 // Chmod hosts faults when the signature targets the chmod primitive.
 func (f *InjectorFS) Chmod(name string, mode uint32) error {
 	if f.inj.sig.Primitive == vfs.PrimChmod && f.inj.claim() {
-		switch f.inj.sig.Model {
-		case BitFlip:
-			buf := []byte{byte(mode), byte(mode >> 8), byte(mode >> 16), byte(mode >> 24)}
-			mut, m := f.inj.flip(buf)
-			m.Path = name
-			f.inj.record(m)
-			mode = uint32(mut[0]) | uint32(mut[1])<<8 | uint32(mut[2])<<16 | uint32(mut[3])<<24
-		case DroppedWrite:
-			f.inj.record(Mutation{Model: DroppedWrite, Path: name, Dropped: true})
+		act := f.inj.sig.Model.MutateMeta(f.inj.env(),
+			MetaOp{Primitive: vfs.PrimChmod, Path: name, Mode: mode})
+		if act.Drop {
 			return nil
-		case ShornWrite:
-			f.inj.record(Mutation{Model: ShornWrite, Path: name, Kept: 2})
-			mode &= 0xFFFF
 		}
+		mode = act.Mode
 	}
 	return f.inner.Chmod(name, mode)
 }
 
-// Truncate hosts faults when the signature targets the truncate primitive:
-// a dropped truncate is acknowledged but never applied, and a bit-flipped
-// truncate resizes to a corrupted size argument.
+// Truncate hosts faults when the signature targets the truncate primitive.
 func (f *InjectorFS) Truncate(name string, size int64) error {
-	if size2, drop, ok := f.inj.applyTruncateFault(name, size); ok {
-		if drop {
-			return nil
-		}
-		size = size2
+	size, drop := f.inj.interceptTruncate(name, size)
+	if drop {
+		return nil
 	}
 	return f.inner.Truncate(name, size)
 }
 
-// applyTruncateFault claims and applies a truncate-hosted fault. ok reports
-// that the fault fired; drop that the truncate must be suppressed entirely.
-func (inj *Injector) applyTruncateFault(name string, size int64) (newSize int64, drop, ok bool) {
+// interceptTruncate claims a truncate-hosted fault and asks the model for
+// the corrupted size; drop reports that the truncate must be suppressed
+// entirely (while still acknowledged).
+func (inj *Injector) interceptTruncate(name string, size int64) (newSize int64, drop bool) {
 	if inj.sig.Primitive != vfs.PrimTruncate || !inj.claim() {
-		return size, false, false
+		return size, false
 	}
-	switch inj.sig.Model {
-	case DroppedWrite:
-		inj.record(Mutation{Model: DroppedWrite, Path: name, Offset: size, Dropped: true})
-		return size, true, true
-	case BitFlip:
-		// The flip lands in the significant bytes of the size argument, so
-		// the corrupted size stays the same order of magnitude (a flip in
-		// the top bits of a 64-bit size would demand exabytes of backing
-		// store no device models).
-		width := 1
-		for s := size >> 8; s > 0; s >>= 8 {
-			width++
-		}
-		buf := make([]byte, width)
-		for i := range buf {
-			buf[i] = byte(size >> (8 * i))
-		}
-		mut, m := inj.flip(buf)
-		newSize = 0
-		for i := width - 1; i >= 0; i-- {
-			newSize = newSize<<8 | int64(mut[i])
-		}
-		m.Path = name
-		m.Offset = size
-		m.NewSize = newSize
-		inj.record(m)
-		return newSize, false, true
-	default:
-		// Unreachable under Signature.Validate; pass through untouched.
-		return size, false, false
-	}
+	act := inj.sig.Model.MutateTruncate(inj.env(), TruncateOp{Path: name, Size: size})
+	return act.Size, act.Drop
 }
 
 // injectorFile interposes on the data path of a single handle. This is the
 // Go rendering of Figure 3a: the (buffer, size, offset) triple passed to
-// FFIS_write (or returned by FFIS_read) is modified according to the fault
-// model before reaching the other side. fs is the uninstrumented view of
-// the same storage, used by LatentCorruption to mutate at-rest bytes.
+// FFIS_write (or returned by FFIS_read) is handed to the armed model's hook
+// before reaching the other side. fs is the uninstrumented view of the same
+// storage, exposed to read hooks for at-rest mutation.
 type injectorFile struct {
 	vfs.File
 	inj *Injector
@@ -268,25 +262,23 @@ func (f *injectorFile) Write(p []byte) (int, error) {
 	}
 	off, err := f.File.Seek(0, io.SeekCurrent)
 	if err != nil {
-		// Without the real offset the shorn-write block plan would be
-		// computed against a fabricated device position; fail the write
-		// rather than corrupt the wrong sectors.
+		// Without the real offset a block- or sector-aligned corruption
+		// plan would be computed against a fabricated device position;
+		// fail the write rather than corrupt the wrong bytes.
 		return 0, fmt.Errorf("core: injector: device offset unknown for armed write: %w", err)
 	}
-	mutated, skip, m := f.inj.applyWriteFault(f.File, p, off)
-	m.Path = f.File.Name()
-	m.Offset = off
-	f.inj.record(m)
-	if skip {
-		// The device dropped the write but acknowledged it: advance the
-		// sequential offset so subsequent writes land where the
-		// application believes they will, leaving a hole of stale bytes.
+	act := f.inj.sig.Model.MutateWrite(f.inj.env(),
+		WriteOp{File: f.File, Path: f.File.Name(), Buf: p, Off: off})
+	if act.Skip {
+		// The device dropped (or misdirected) the write but acknowledged
+		// it: advance the sequential offset so subsequent writes land
+		// where the application believes they will.
 		if _, err := f.File.Seek(int64(len(p)), io.SeekCurrent); err != nil {
 			return 0, err
 		}
 		return len(p), nil
 	}
-	n, err := f.File.Write(mutated)
+	n, err := f.File.Write(act.Buf)
 	if n > len(p) {
 		n = len(p)
 	}
@@ -298,14 +290,12 @@ func (f *injectorFile) WriteAt(p []byte, off int64) (int, error) {
 	if f.inj.sig.Primitive != vfs.PrimWrite || len(p) == 0 || !f.inj.claim() {
 		return f.File.WriteAt(p, off)
 	}
-	mutated, skip, m := f.inj.applyWriteFault(f.File, p, off)
-	m.Path = f.File.Name()
-	m.Offset = off
-	f.inj.record(m)
-	if skip {
+	act := f.inj.sig.Model.MutateWrite(f.inj.env(),
+		WriteOp{File: f.File, Path: f.File.Name(), Buf: p, Off: off})
+	if act.Skip {
 		return len(p), nil
 	}
-	n, err := f.File.WriteAt(mutated, off)
+	n, err := f.File.WriteAt(act.Buf, off)
 	if n > len(p) {
 		n = len(p)
 	}
@@ -319,35 +309,15 @@ func (f *injectorFile) Read(p []byte) (int, error) {
 	if f.inj.sig.Primitive != vfs.PrimRead || len(p) == 0 || !f.inj.claim() {
 		return f.File.Read(p)
 	}
-	switch f.inj.sig.Model {
-	case UnreadableSector:
-		// The device never delivers the data, so the underlying read must
-		// not execute: the sequential offset stays where it was.
-		off, err := f.File.Seek(0, io.SeekCurrent)
-		if err != nil {
-			off = -1 // offset is only logged for this model
-		}
-		return 0, f.inj.failUnreadable(f.File.Name(), len(p), off)
-	case LatentCorruption:
-		// The at-rest bytes under the read range must be corrupted before
-		// the read executes, so this very read already observes the damage.
-		off, err := f.File.Seek(0, io.SeekCurrent)
-		if err != nil {
-			return 0, fmt.Errorf("core: injector: device offset unknown for armed read: %w", err)
-		}
-		if err := f.corruptAtRest(off, len(p)); err != nil {
-			return 0, err
-		}
-		return f.File.Read(p)
-	default: // ReadBitFlip
-		off, err := f.File.Seek(0, io.SeekCurrent)
-		if err != nil {
-			off = -1 // offset is only logged for this model
-		}
-		n, err := f.File.Read(p)
-		f.inj.flipRead(f.File.Name(), p, n, off)
-		return n, err
+	off, offErr := f.File.Seek(0, io.SeekCurrent)
+	if offErr != nil {
+		off = -1
 	}
+	return f.inj.sig.Model.MutateRead(f.inj.env(), ReadOp{
+		File: f.File, FS: f.fs, Path: f.File.Name(),
+		Buf: p, Off: off, OffErr: offErr,
+		Do: func(q []byte) (int, error) { return f.File.Read(q) },
+	})
 }
 
 // ReadAt intercepts the positional read primitive (pread).
@@ -355,174 +325,21 @@ func (f *injectorFile) ReadAt(p []byte, off int64) (int, error) {
 	if f.inj.sig.Primitive != vfs.PrimRead || len(p) == 0 || !f.inj.claim() {
 		return f.File.ReadAt(p, off)
 	}
-	switch f.inj.sig.Model {
-	case UnreadableSector:
-		return 0, f.inj.failUnreadable(f.File.Name(), len(p), off)
-	case LatentCorruption:
-		if err := f.corruptAtRest(off, len(p)); err != nil {
-			return 0, err
-		}
-		return f.File.ReadAt(p, off)
-	default: // ReadBitFlip
-		n, err := f.File.ReadAt(p, off)
-		f.inj.flipRead(f.File.Name(), p, n, off)
-		return n, err
-	}
-}
-
-// failUnreadable records the uncorrectable-ECC mutation and returns the
-// EIO the application sees. The caller must not have executed the
-// underlying read: the device delivers nothing.
-func (inj *Injector) failUnreadable(name string, length int, off int64) error {
-	inj.record(Mutation{Model: UnreadableSector, Path: name, Offset: off, Length: length, Unreadable: true})
-	return &vfs.PathError{Op: "read", Path: name, Err: vfs.ErrUnreadable}
-}
-
-// flipRead applies the transient bit rot to the n bytes the device
-// delivered into p. A shot landing on a read that delivered nothing (the
-// EOF probe ending every read-until-EOF loop — profiled, hence claimable)
-// burns harmlessly, recorded with BitPos -1 like a latent shot at EOF.
-func (inj *Injector) flipRead(name string, p []byte, n int, off int64) {
-	mutated, m := inj.flip(p[:n])
-	copy(p, mutated)
-	m.Model = ReadBitFlip
-	m.Path = name
-	m.Offset = off
-	m.Length = n
-	inj.record(m)
-}
-
-// corruptAtRest flips bits in the stored bytes under [off, off+length),
-// clamped to the file's current size, through a writable side handle on the
-// uninstrumented view — so the corruption is durable and every subsequent
-// reader (the application and the outcome classifier alike) observes it.
-func (f *injectorFile) corruptAtRest(off int64, length int) error {
-	name := f.File.Name()
-	// Append opens read-write without truncating and works on files opened
-	// read-only by the application.
-	wf, err := f.fs.Append(name)
-	if err != nil {
-		return fmt.Errorf("core: injector: latent corruption of %s: %w", name, err)
-	}
-	defer wf.Close()
-	size, err := wf.Size()
-	if err != nil {
-		return err
-	}
-	if off >= size || off < 0 {
-		// The target read starts at/after EOF: there are no at-rest bytes
-		// under it. The shot is spent on a read that delivers no data —
-		// record the no-op so the run still counts as injected.
-		f.inj.record(Mutation{Model: LatentCorruption, Path: name, Offset: off, BitPos: -1, Latent: true})
-		return nil
-	}
-	n := int64(length)
-	if off+n > size {
-		n = size - off
-	}
-	buf := make([]byte, n)
-	if _, err := wf.ReadAt(buf, off); err != nil && err != io.EOF {
-		return err
-	}
-	mutated, m := f.inj.flip(buf)
-	if _, err := wf.WriteAt(mutated, off); err != nil {
-		return err
-	}
-	m.Model = LatentCorruption
-	m.Path = name
-	m.Offset = off
-	m.Latent = true
-	f.inj.record(m)
-	return nil
+	return f.inj.sig.Model.MutateRead(f.inj.env(), ReadOp{
+		File: f.File, FS: f.fs, Path: f.File.Name(),
+		Buf: p, Off: off,
+		Do: func(q []byte) (int, error) { return f.File.ReadAt(q, off) },
+	})
 }
 
 // Truncate intercepts the handle-level truncate primitive, hosting the same
 // faults as the FS-level call so the claim count matches the profiler's.
 func (f *injectorFile) Truncate(size int64) error {
-	if size2, drop, ok := f.inj.applyTruncateFault(f.File.Name(), size); ok {
-		if drop {
-			return nil
-		}
-		size = size2
+	size, drop := f.inj.interceptTruncate(f.File.Name(), size)
+	if drop {
+		return nil
 	}
 	return f.File.Truncate(size)
-}
-
-// applyWriteFault produces the corrupted buffer for the armed model.
-// skip reports that the write must be suppressed entirely (dropped write).
-func (inj *Injector) applyWriteFault(file vfs.File, p []byte, off int64) (mutated []byte, skip bool, m Mutation) {
-	switch inj.sig.Model {
-	case BitFlip:
-		mutated, m = inj.flip(p)
-		m.Length = len(p)
-		return mutated, false, m
-
-	case DroppedWrite:
-		return nil, true, Mutation{Model: DroppedWrite, Length: len(p), Dropped: true}
-
-	case ShornWrite:
-		return inj.applyShorn(file, p, off)
-
-	default:
-		return p, false, Mutation{Model: inj.sig.Model, Length: len(p)}
-	}
-}
-
-// applyShorn builds the post-fault content of a shorn write. Sectors within
-// the kept fraction of each 4 KiB block persist the new data; lost sectors
-// retain whatever the device previously stored there. Where the file had no
-// previous content (an append), the lost sectors surface stale data from the
-// device's FTL — modelled as the new buffer shifted back one sector, which
-// reproduces the paper's observation that shorn remnants are "within an
-// order of magnitude difference from the original data".
-func (inj *Injector) applyShorn(file vfs.File, p []byte, off int64) ([]byte, bool, Mutation) {
-	f := inj.sig.Feature
-	keep, droppedSectors := shornPlan(off, len(p), f)
-
-	// Start from the stale view: previous file content where it exists...
-	out := make([]byte, len(p))
-	n, _ := file.ReadAt(out, off) // best-effort; short read leaves zeros
-	if n < len(out) {
-		// ...and FTL remnants beyond old EOF: the buffer lagged by one
-		// sector, so lost sectors hold plausible same-magnitude data.
-		for i := n; i < len(out); i++ {
-			src := i - f.SectorSize
-			if src < 0 {
-				src = 0
-			}
-			out[i] = p[src]
-		}
-	}
-	kept := 0
-	for _, seg := range keep {
-		kept += copy(out[seg.Start:seg.End], p[seg.Start:seg.End])
-	}
-	m := Mutation{Model: ShornWrite, Length: len(p), Kept: kept, Sectors: droppedSectors}
-	return out, false, m
-}
-
-// String summarizes the mutation for logs.
-func (m Mutation) String() string {
-	switch m.Model {
-	case BitFlip:
-		if m.NewSize > 0 {
-			return fmt.Sprintf("bit-flip %s truncate size %d -> %d bit=%d", m.Path, m.Offset, m.NewSize, m.BitPos)
-		}
-		return fmt.Sprintf("bit-flip %s off=%d len=%d bit=%d", m.Path, m.Offset, m.Length, m.BitPos)
-	case ShornWrite:
-		return fmt.Sprintf("shorn-write %s off=%d len=%d kept=%d lost-sectors=%d",
-			m.Path, m.Offset, m.Length, m.Kept, m.Sectors)
-	case DroppedWrite:
-		return fmt.Sprintf("dropped-write %s off=%d len=%d", m.Path, m.Offset, m.Length)
-	case ReadBitFlip:
-		return fmt.Sprintf("read-bit-flip %s off=%d len=%d bit=%d (transient)", m.Path, m.Offset, m.Length, m.BitPos)
-	case UnreadableSector:
-		return fmt.Sprintf("unreadable-sector %s off=%d len=%d (EIO)", m.Path, m.Offset, m.Length)
-	case LatentCorruption:
-		return fmt.Sprintf("latent-corruption %s off=%d bit=%d (at rest)", m.Path, m.Offset, m.BitPos)
-	default:
-		return fmt.Sprintf("mutation(%d) %s", int(m.Model), m.Path)
-	}
 }
 
 var (

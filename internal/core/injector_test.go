@@ -10,7 +10,7 @@ import (
 	"ffis/internal/vfs"
 )
 
-func newWriteInjector(model FaultModel, target int64, seed uint64) *Injector {
+func newWriteInjector(model Model, target int64, seed uint64) *Injector {
 	sig := Config{Model: model}.Signature()
 	return NewInjector(sig, target, stats.NewRNG(seed))
 }

@@ -12,6 +12,12 @@
 //   - Fault injector — NewInjector()/InjectorFS corrupt the randomly chosen
 //     instance; Campaign() loops runs and classifies outcomes.
 //
+// Fault models are an open vocabulary, as device studies keep surfacing new
+// manifestations: each model is a self-contained Model implementation
+// registered with Register, and the injector, campaign drivers, CLI flags,
+// and experiment grids reach every registered model through the registry
+// alone — adding a model touches no dispatch code.
+//
 // Beyond the paper's flat single-device setup, campaigns can route faults
 // by storage tier: a Workload whose NewFS returns a *vfs.MountFS world can
 // be armed on a subset of its mounts via CampaignConfig.ArmMounts, in which
@@ -27,125 +33,65 @@ import (
 	"ffis/internal/vfs"
 )
 
-// FaultModel identifies one of the SSD partial-failure manifestations FFIS
-// supports (Table I).
-type FaultModel int
+// Model is one SSD partial-failure manifestation (Table I and its
+// extensions): a self-contained fault-model implementation. Identity comes
+// from Name/Short, the hostable surface from Hosts, and behavior from the
+// Mutate* hooks the injector calls when its single armed shot lands on an
+// instance of a hosted primitive. Implementations embed BaseModel to
+// inherit pass-through hooks and override only the sites they host; a
+// Register call makes the model reachable by every campaign driver —
+// ParseModel-based CLI flags, experiment grids, examples — with no further
+// wiring.
+//
+// Hooks run after the injector has claimed its single shot, so each hook
+// fires at most once per campaign run. A hook is responsible for recording
+// what it did via Env.Record; a fired-but-unrecorded shot makes the run
+// tally as never injected, which the registry conformance suite treats as
+// a model bug.
+type Model interface {
+	// Name is the stable long identifier ("bit-flip"): the ParseModel key,
+	// the report label, and the JSON-export value.
+	Name() string
+	// Short is the two-letter code used in figure and table headings
+	// ("BF").
+	Short() string
+	// Hosts lists the file-system primitives that can host the fault, the
+	// Table I "affected FUSE primitives" column. Hosts()[0] is the default
+	// primitive a Config aims at when its Primitive field is unset;
+	// Signature.Validate rejects any primitive outside the list.
+	Hosts() []vfs.Primitive
+	// Describe is the Table I "features" column: one line on what the
+	// model does to the victim primitive instance.
+	Describe() string
 
-const (
-	// BitFlip flips consecutive bits at a random position in the write
-	// buffer, modelling silent bit corruption that escaped the SSD's ECC.
-	BitFlip FaultModel = iota
-	// ShornWrite persists only the leading fraction of each 4 KiB block at
-	// 512-byte sector granularity while still reporting full success,
-	// modelling a write torn by a power fault.
-	ShornWrite
-	// DroppedWrite discards the write entirely yet reports full success,
-	// modelling a write acknowledged by the device but never persisted.
-	DroppedWrite
-	// ReadBitFlip flips consecutive bits in the buffer returned by the
-	// target read instance — bit rot surfaced at read time. The fault is
-	// transient: the media is unchanged and only this one read observes the
-	// corruption (a re-read delivers clean data).
-	ReadBitFlip
-	// UnreadableSector fails the target read instance with EIO, modelling an
-	// uncorrectable ECC error: the device refuses to deliver the sector at
-	// all rather than deliver it silently corrupted.
-	UnreadableSector
-	// LatentCorruption mutates the target file's at-rest bytes in place when
-	// the target read instance executes — data corrupted between the
-	// producing and the consuming stage. Unlike ReadBitFlip the damage is
-	// durable: this read and every subsequent read (including the outcome
-	// classifier's) observe the same corrupted bytes.
-	LatentCorruption
-)
+	// MutateWrite corrupts a claimed write instance (Figure 3a: the
+	// (buffer, size, offset) triple of FFIS_write). It must Record the
+	// mutation and return how the injector completes the write.
+	MutateWrite(env Env, op WriteOp) WriteAction
+	// MutateRead serves a claimed read instance. The hook owns the whole
+	// read: it decides whether the underlying device read (op.Do) runs at
+	// all, corrupts the delivered bytes or the at-rest media, Records the
+	// mutation, and returns what the application observes.
+	MutateRead(env Env, op ReadOp) (int, error)
+	// MutateTruncate corrupts a claimed truncate instance, treating the
+	// requested size as the write buffer.
+	MutateTruncate(env Env, op TruncateOp) TruncateAction
+	// MutateMeta corrupts a claimed metadata instance (mknod or chmod,
+	// per op.Primitive), treating the mode/dev arguments as the buffer.
+	MutateMeta(env Env, op MetaOp) MetaAction
 
-// Models lists the write-path fault models in presentation order (BF, SW,
-// DW) — the Table I vocabulary Figure 7 sweeps.
-func Models() []FaultModel { return []FaultModel{BitFlip, ShornWrite, DroppedWrite} }
-
-// ReadModels lists the read-path fault models in presentation order (RB,
-// UR, LC): faults that surface when data is consumed, not produced.
-func ReadModels() []FaultModel {
-	return []FaultModel{ReadBitFlip, UnreadableSector, LatentCorruption}
+	// RenderMutation formats one of this model's mutation records for
+	// logs; Mutation.String delegates here, so new models get readable
+	// mutation lines without any central rendering switch.
+	RenderMutation(m Mutation) string
 }
 
-// AllModels lists every fault model, write path first.
-func AllModels() []FaultModel { return append(Models(), ReadModels()...) }
-
-// IsRead reports whether the model hosts on the read path (its default
-// target primitive is read rather than write).
-func (m FaultModel) IsRead() bool {
-	switch m {
-	case ReadBitFlip, UnreadableSector, LatentCorruption:
-		return true
-	}
-	return false
-}
-
-func (m FaultModel) String() string {
-	switch m {
-	case BitFlip:
-		return "bit-flip"
-	case ShornWrite:
-		return "shorn-write"
-	case DroppedWrite:
-		return "dropped-write"
-	case ReadBitFlip:
-		return "read-bit-flip"
-	case UnreadableSector:
-		return "unreadable-sector"
-	case LatentCorruption:
-		return "latent-corruption"
-	default:
-		return fmt.Sprintf("fault-model(%d)", int(m))
-	}
-}
-
-// Short returns the two-letter code used in Figure 7 ("BF", "SW", "DW") and
-// its read-path extension ("RB", "UR", "LC").
-func (m FaultModel) Short() string {
-	switch m {
-	case BitFlip:
-		return "BF"
-	case ShornWrite:
-		return "SW"
-	case DroppedWrite:
-		return "DW"
-	case ReadBitFlip:
-		return "RB"
-	case UnreadableSector:
-		return "UR"
-	case LatentCorruption:
-		return "LC"
-	default:
-		return "??"
-	}
-}
-
-// Spec returns the Table I row for the model: which FUSE primitives can host
-// the fault and the key implementation feature. The primitive list is the
-// authoritative hostable set — Signature.Validate rejects any combination
-// outside it, so a campaign can never arm a fault the injector silently
-// passes through.
-func (m FaultModel) Spec() (primitives []vfs.Primitive, feature string) {
-	writePrims := []vfs.Primitive{vfs.PrimWrite, vfs.PrimMknod, vfs.PrimChmod}
-	readPrims := []vfs.Primitive{vfs.PrimRead}
-	switch m {
-	case BitFlip:
-		return append(writePrims, vfs.PrimTruncate), "flip consecutive multiple bits (default 2)"
-	case ShornWrite:
-		return writePrims, "completely write the first 3/8th or 7/8th of each 4KB block at 512B granularity; reported size unchanged"
-	case DroppedWrite:
-		return append(writePrims, vfs.PrimTruncate), "the write operation is ignored; success with the full size is returned"
-	case ReadBitFlip:
-		return readPrims, "flip consecutive multiple bits in the returned read buffer; media unchanged (transient)"
-	case UnreadableSector:
-		return readPrims, "the read fails with EIO (uncorrectable ECC); no data is delivered"
-	case LatentCorruption:
-		return readPrims, "flip consecutive bits in the at-rest bytes under the read range; every later read observes it"
-	default:
-		return nil, "unknown"
-	}
+// IsRead reports whether the model hosts on the read path: its default
+// target primitive (Hosts()[0]) is read rather than write, so campaigns aim
+// it at data consumption instead of production.
+func IsRead(m Model) bool {
+	hosts := m.Hosts()
+	return len(hosts) > 0 && hosts[0] == vfs.PrimRead
 }
 
 // Feature carries the per-model tunables of a fault signature. Zero values
@@ -191,36 +137,44 @@ func (f Feature) normalize() Feature {
 // fault model, the file-system primitive hosting the fault, and the model
 // feature (Figure 4, "Generating fault signature").
 type Signature struct {
-	Model     FaultModel
+	Model     Model
 	Primitive vfs.Primitive
 	Feature   Feature
 }
 
 func (s Signature) String() string {
-	return fmt.Sprintf("%s@%s", s.Model, s.Primitive)
+	name := "(no model)"
+	if s.Model != nil {
+		name = s.Model.Name()
+	}
+	return fmt.Sprintf("%s@%s", name, s.Primitive)
 }
 
 // Validate reports whether the injector can actually host this signature:
-// the primitive must be in the model's Spec() set. Campaign and Engine call
-// it before profiling, so a signature the injector would silently pass
+// the primitive must be in the model's Hosts() set. Campaign and Engine
+// call it before profiling, so a signature the injector would silently pass
 // through (e.g. shorn-write@truncate, or any model on stat) is a
 // configuration error instead of a campaign that profiles a nonzero count
 // and then tallies 100% benign.
 func (s Signature) Validate() error {
-	prims, _ := s.Model.Spec()
-	for _, p := range prims {
+	if s.Model == nil {
+		return fmt.Errorf("core: signature has no fault model (use ParseModel or a registered Model)")
+	}
+	for _, p := range s.Model.Hosts() {
 		if p == s.Primitive {
 			return nil
 		}
 	}
-	return fmt.Errorf("core: injector cannot host %s: model %s hosts only %v", s, s.Model, prims)
+	return fmt.Errorf("core: injector cannot host %s: model %s hosts only %v",
+		s, s.Model.Name(), s.Model.Hosts())
 }
 
 // Config is the user configuration the fault generator consumes.
 type Config struct {
-	Model FaultModel
-	// Primitive defaults to write for the write-path models (Section IV-B)
-	// and to read for the read-path models.
+	Model Model
+	// Primitive defaults to the model's own default target — Hosts()[0]:
+	// write for the write-path family (Section IV-B), read for the
+	// read-path family.
 	Primitive vfs.Primitive
 	Feature   Feature
 }
@@ -229,10 +183,9 @@ type Config struct {
 // the paper's defaults for anything unspecified.
 func (c Config) Signature() Signature {
 	prim := c.Primitive
-	if prim == "" {
-		prim = vfs.PrimWrite
-		if c.Model.IsRead() {
-			prim = vfs.PrimRead
+	if prim == "" && c.Model != nil {
+		if hosts := c.Model.Hosts(); len(hosts) > 0 {
+			prim = hosts[0]
 		}
 	}
 	return Signature{Model: c.Model, Primitive: prim, Feature: c.Feature.normalize()}
@@ -240,13 +193,15 @@ func (c Config) Signature() Signature {
 
 // Mutation describes what a fault model did to one intercepted primitive
 // instance, for logging and for tests that assert the corruption shape.
+// The fixed fields cover the built-in vocabulary; models with extra state
+// to report put it in Detail, which the generic rendering appends.
 type Mutation struct {
-	Model   FaultModel
+	Model   Model
 	Path    string // file the primitive targeted
 	Offset  int64  // file offset of the write/read; requested size for truncate
 	Length  int    // length of the original buffer
 	BitPos  int    // bit-flip models: first flipped bit index within the buffer (-1: nothing to flip)
-	Kept    int    // ShornWrite: bytes actually persisted
+	Kept    int    // bytes actually persisted (ShornWrite) or delivered (ShortRead)
 	Dropped bool   // DroppedWrite: write/truncate suppressed
 	Sectors int    // ShornWrite: sectors suppressed
 	// NewSize is the corrupted size a BitFlip@truncate actually applied.
@@ -257,15 +212,30 @@ type Mutation struct {
 	// Latent marks a LatentCorruption fault: the flip was written back to
 	// the at-rest bytes, so it outlives this read.
 	Latent bool
+	// Detail carries model-specific context with no dedicated field above
+	// (e.g. where a misdirected write actually landed).
+	Detail string
+}
+
+// String delegates rendering to the model that produced the mutation, so
+// every registered model — including ones this package has never heard of —
+// yields a readable log line.
+func (m Mutation) String() string {
+	if m.Model == nil {
+		return fmt.Sprintf("mutation(no model) %s", m.Path)
+	}
+	return m.Model.RenderMutation(m)
 }
 
 // mutateBitFlip returns a copy of buf with feature.FlipBits consecutive bits
 // flipped starting at a random bit position. Flipping may straddle byte
-// boundaries; positions are uniform over the whole buffer.
+// boundaries; positions are uniform over the whole buffer. The returned
+// mutation has only BitPos and Length set; the calling hook stamps Model,
+// Path, and Offset.
 func mutateBitFlip(buf []byte, f Feature, rng *stats.RNG) ([]byte, Mutation) {
 	out := append([]byte(nil), buf...)
 	if len(out) == 0 {
-		return out, Mutation{Model: BitFlip, BitPos: -1}
+		return out, Mutation{BitPos: -1}
 	}
 	totalBits := len(out) * 8
 	width := f.FlipBits
@@ -277,48 +247,5 @@ func mutateBitFlip(buf []byte, f Feature, rng *stats.RNG) ([]byte, Mutation) {
 		bit := start + i
 		out[bit/8] ^= 1 << uint(bit%8)
 	}
-	return out, Mutation{Model: BitFlip, Length: len(buf), BitPos: start}
-}
-
-// shornPlan computes which byte ranges of a write survive a shorn write.
-// The device persists only the first KeepNum/KeepDen of every BlockSize
-// block, rounded to SectorSize sectors; everything else is lost. Block
-// boundaries are device-absolute, so the plan depends on the file offset.
-func shornPlan(off int64, length int, f Feature) (keep []segment, droppedSectors int) {
-	if length == 0 {
-		return nil, 0
-	}
-	keepBytesPerBlock := f.BlockSize * f.ShornKeepNum / f.ShornKeepDen
-	keepBytesPerBlock -= keepBytesPerBlock % f.SectorSize
-	end := off + int64(length)
-	blockStart := off - off%int64(f.BlockSize)
-	for bs := blockStart; bs < end; bs += int64(f.BlockSize) {
-		keepEnd := bs + int64(keepBytesPerBlock)
-		segStart, segEnd := maxI64(bs, off), minI64(keepEnd, end)
-		if segEnd > segStart {
-			keep = append(keep, segment{segStart - off, segEnd - off})
-		}
-		lostStart, lostEnd := maxI64(keepEnd, off), minI64(bs+int64(f.BlockSize), end)
-		if lostEnd > lostStart {
-			droppedSectors += int((lostEnd - lostStart + int64(f.SectorSize) - 1) / int64(f.SectorSize))
-		}
-	}
-	return keep, droppedSectors
-}
-
-// segment is a [Start,End) byte range relative to the write buffer.
-type segment struct{ Start, End int64 }
-
-func maxI64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func minI64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
+	return out, Mutation{Length: len(buf), BitPos: start}
 }

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+
+	"ffis/internal/vfs"
+)
+
+// MisdirectedWrite persists the buffer at a wrong sector-aligned offset
+// while reporting success at the requested one — a firmware or driver bug
+// steering the write to the wrong LBA. The requested range keeps its stale
+// content; the displaced range is silently overwritten. This model ships
+// purely as a registration: the injector, campaign runner, engine, CLI
+// parsers, and experiment grids pick it up through the registry with no
+// edits of their own.
+var MisdirectedWrite = Register(misdirectedWriteModel{}, "misdirected")
+
+type misdirectedWriteModel struct{ BaseModel }
+
+func (misdirectedWriteModel) Name() string  { return "misdirected-write" }
+func (misdirectedWriteModel) Short() string { return "MD" }
+
+func (misdirectedWriteModel) Hosts() []vfs.Primitive {
+	return []vfs.Primitive{vfs.PrimWrite}
+}
+
+func (misdirectedWriteModel) Describe() string {
+	return "the buffer is persisted at a wrong sector-aligned offset; success at the requested offset is returned"
+}
+
+// MutateWrite performs the displaced write itself through the underlying
+// handle, then tells the injector to skip (and acknowledge) the requested
+// one. The displacement is 1–8 sectors toward the start of the device —
+// an already-programmed LBA — falling forward only when the write sits too
+// close to offset zero; either way the victim range is sector-aligned
+// relative to the intended offset.
+func (md misdirectedWriteModel) MutateWrite(env Env, op WriteOp) WriteAction {
+	f := env.Feature()
+	delta := int64(1+env.Intn(8)) * int64(f.SectorSize)
+	wrong := op.Off - delta
+	if wrong < 0 {
+		wrong = op.Off + delta
+	}
+	m := Mutation{
+		Model: md, Path: op.Path, Offset: op.Off, Length: len(op.Buf),
+		Detail: fmt.Sprintf("persisted at offset %d", wrong),
+	}
+	if _, err := op.File.WriteAt(op.Buf, wrong); err != nil {
+		// The displaced write failed: the device lost the data entirely,
+		// degenerating into a dropped write. The application still sees
+		// success — that is the point of the fault.
+		m.Dropped = true
+		m.Detail = fmt.Sprintf("misdirected to offset %d and lost (%v)", wrong, err)
+	}
+	env.Record(m)
+	return WriteAction{Skip: true}
+}
+
+func (misdirectedWriteModel) RenderMutation(m Mutation) string {
+	return fmt.Sprintf("misdirected-write %s off=%d len=%d %s", m.Path, m.Offset, m.Length, m.Detail)
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -10,66 +11,101 @@ import (
 )
 
 func TestModelStrings(t *testing.T) {
-	if BitFlip.String() != "bit-flip" || BitFlip.Short() != "BF" {
-		t.Error("bit-flip naming")
-	}
-	if ShornWrite.String() != "shorn-write" || ShornWrite.Short() != "SW" {
-		t.Error("shorn-write naming")
-	}
-	if DroppedWrite.String() != "dropped-write" || DroppedWrite.Short() != "DW" {
-		t.Error("dropped-write naming")
-	}
-	if FaultModel(99).Short() != "??" {
-		t.Error("unknown model short")
+	for name, short := range map[string]string{
+		"bit-flip":          "BF",
+		"shorn-write":       "SW",
+		"dropped-write":     "DW",
+		"read-bit-flip":     "RB",
+		"unreadable-sector": "UR",
+		"latent-corruption": "LC",
+		"misdirected-write": "MD",
+		"short-read":        "SR",
+	} {
+		m, ok := Lookup(name)
+		if !ok {
+			t.Errorf("model %s not registered", name)
+			continue
+		}
+		if m.Name() != name || m.Short() != short {
+			t.Errorf("%s naming: %s/%s", name, m.Name(), m.Short())
+		}
 	}
 }
 
-func TestModelsOrder(t *testing.T) {
-	ms := Models()
-	if len(ms) != 3 || ms[0] != BitFlip || ms[1] != ShornWrite || ms[2] != DroppedWrite {
-		t.Fatalf("Models() = %v", ms)
+func TestWriteModelsContainTableI(t *testing.T) {
+	have := map[Model]bool{}
+	for _, m := range WriteModels() {
+		have[m] = true
 	}
-}
-
-func TestReadModelStrings(t *testing.T) {
-	if ReadBitFlip.String() != "read-bit-flip" || ReadBitFlip.Short() != "RB" {
-		t.Error("read-bit-flip naming")
+	for _, m := range []Model{BitFlip, ShornWrite, DroppedWrite, MisdirectedWrite} {
+		if !have[m] {
+			t.Errorf("WriteModels() missing %s", m.Name())
+		}
 	}
-	if UnreadableSector.String() != "unreadable-sector" || UnreadableSector.Short() != "UR" {
-		t.Error("unreadable-sector naming")
-	}
-	if LatentCorruption.String() != "latent-corruption" || LatentCorruption.Short() != "LC" {
-		t.Error("latent-corruption naming")
+	if have[ReadBitFlip] || have[UnreadableSector] || have[LatentCorruption] || have[ShortRead] {
+		t.Error("WriteModels() contains a read-path model")
 	}
 }
 
 func TestAllModelsPartition(t *testing.T) {
 	all := AllModels()
-	if len(all) != 6 {
+	if len(all) != len(WriteModels())+len(ReadModels()) {
 		t.Fatalf("AllModels() = %v", all)
 	}
 	for i, m := range all {
-		if got, want := m.IsRead(), i >= 3; got != want {
-			t.Errorf("%s IsRead() = %v, want %v", m, got, want)
+		if got, want := IsRead(m), i >= len(WriteModels()); got != want {
+			t.Errorf("%s IsRead = %v, want %v (write family must come first)", m.Name(), got, want)
 		}
-		prims, feature := m.Spec()
-		if len(prims) == 0 || feature == "" {
-			t.Errorf("%s has empty spec", m)
+		if len(m.Hosts()) == 0 || m.Describe() == "" {
+			t.Errorf("%s has empty hosts or feature", m.Name())
 		}
-		if m.IsRead() && prims[0] != vfs.PrimRead {
-			t.Errorf("%s spec primitives = %v, want read first", m, prims)
+		if IsRead(m) && m.Hosts()[0] != vfs.PrimRead {
+			t.Errorf("%s hosts = %v, want read first", m.Name(), m.Hosts())
 		}
 	}
 }
 
-func TestSpecListsWritePrimitive(t *testing.T) {
-	for _, m := range Models() {
-		prims, feature := m.Spec()
-		if len(prims) == 0 || prims[0] != vfs.PrimWrite {
-			t.Errorf("%s spec primitives = %v", m, prims)
+func TestWriteModelsHostWriteFirst(t *testing.T) {
+	for _, m := range WriteModels() {
+		if prims := m.Hosts(); len(prims) == 0 || prims[0] != vfs.PrimWrite {
+			t.Errorf("%s hosts = %v", m.Name(), m.Hosts())
 		}
-		if feature == "" {
-			t.Errorf("%s has empty feature", m)
+	}
+}
+
+func TestParseModel(t *testing.T) {
+	for _, s := range []string{"bit-flip", "BF", "bf", "BitFlip", "Bit-Flip"} {
+		m, err := ParseModel(s)
+		if err != nil || m != BitFlip {
+			t.Errorf("ParseModel(%q) = %v, %v", s, m, err)
+		}
+	}
+	for spelled, want := range map[string]Model{
+		"dropped":     DroppedWrite,
+		"shorn":       ShornWrite,
+		"unreadable":  UnreadableSector,
+		"latent":      LatentCorruption,
+		"misdirected": MisdirectedWrite,
+		"short":       ShortRead,
+		"md":          MisdirectedWrite,
+		"sr":          ShortRead,
+	} {
+		if m, err := ParseModel(spelled); err != nil || m != want {
+			t.Errorf("ParseModel(%q) = %v, %v; want %s", spelled, m, err, want.Name())
+		}
+	}
+	if _, err := ParseModel("torn-page"); err == nil {
+		t.Error("ParseModel accepted an unregistered model")
+	} else if !strings.Contains(err.Error(), "bit-flip") {
+		t.Errorf("ParseModel error does not list the vocabulary: %v", err)
+	}
+}
+
+func TestModelTableListsEveryModel(t *testing.T) {
+	table := ModelTable()
+	for _, m := range AllModels() {
+		if !strings.Contains(table, m.Name()) || !strings.Contains(table, m.Short()) {
+			t.Errorf("ModelTable() missing %s", m.Name())
 		}
 	}
 }

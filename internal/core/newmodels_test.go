@@ -1,0 +1,173 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ffis/internal/stats"
+	"ffis/internal/vfs"
+)
+
+// Behavior tests for the two models that shipped as pure registrations:
+// misdirected-write (MD) and short-read (SR).
+
+func TestMisdirectedWriteLandsAtWrongSectorAlignedOffset(t *testing.T) {
+	base := vfs.NewMemFS()
+	inj := NewInjector(Config{Model: MisdirectedWrite}.Signature(), 0, stats.NewRNG(3))
+	fs := inj.Wrap(base)
+
+	payload := bytes.Repeat([]byte{0xEE}, 1024)
+	f, err := fs.Create("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write(payload)
+	if err != nil || n != len(payload) {
+		t.Fatalf("misdirected write must report full success, got n=%d err=%v", n, err)
+	}
+	// The acknowledged offset advances past the requested range: the next
+	// write lands where the application believes it will.
+	tail := []byte("tail")
+	if _, err := f.Write(tail); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	mut, fired := inj.Fired()
+	if !fired || mut.Model != MisdirectedWrite {
+		t.Fatalf("mutation = %+v fired=%v", mut, fired)
+	}
+	got, err := vfs.ReadFile(base, "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The write began at offset 0, so the displacement must fall forward:
+	// a sector-aligned hole of never-written zeros precedes the payload.
+	idx := bytes.IndexByte(got, 0xEE)
+	if idx <= 0 {
+		t.Fatalf("payload not displaced (first 0xEE at %d)", idx)
+	}
+	if idx%512 != 0 {
+		t.Fatalf("displacement %d is not sector-aligned", idx)
+	}
+	if !bytes.Equal(got[idx:idx+len(payload)], payload) {
+		t.Fatal("payload corrupted at the misdirected location")
+	}
+	for i := 0; i < idx && i < len(payload); i++ {
+		if got[i] != 0 && i >= len(tail) {
+			t.Fatalf("requested range holds written data at %d; the device must not have honored the requested offset", i)
+		}
+	}
+	// The follow-up write landed at the application's notion of offset
+	// len(payload), proving the acknowledged offset advanced.
+	if !bytes.Equal(got[len(payload):len(payload)+len(tail)], tail) {
+		t.Fatalf("second write did not land at the acknowledged offset: %q", got[len(payload):len(payload)+len(tail)])
+	}
+	if !strings.Contains(mut.String(), "persisted at offset") {
+		t.Fatalf("mutation line does not explain the misdirection: %s", mut)
+	}
+}
+
+func TestMisdirectedWriteAtDisplacesBackward(t *testing.T) {
+	base := vfs.NewMemFS()
+	// Seed enough file for a backward displacement target to exist.
+	if err := vfs.WriteFile(base, "/f", bytes.Repeat([]byte{0x01}, 16384)); err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector(Config{Model: MisdirectedWrite}.Signature(), 0, stats.NewRNG(3))
+	fs := inj.Wrap(base)
+
+	payload := bytes.Repeat([]byte{0xEE}, 512)
+	const reqOff = 8192
+	f, err := fs.Append("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := f.WriteAt(payload, reqOff); err != nil || n != len(payload) {
+		t.Fatalf("WriteAt = %d, %v", n, err)
+	}
+	f.Close()
+
+	got, _ := vfs.ReadFile(base, "/f")
+	if bytes.Contains(got[reqOff:reqOff+512], []byte{0xEE}) {
+		t.Fatal("requested range was written; the fault must misdirect it")
+	}
+	idx := bytes.IndexByte(got, 0xEE)
+	if idx < 0 {
+		t.Fatal("payload vanished entirely")
+	}
+	if idx >= reqOff {
+		t.Fatalf("displacement did not fall backward of the request: landed at %d", idx)
+	}
+	if (reqOff-int64(idx))%512 != 0 {
+		t.Fatalf("misdirection distance %d not sector-aligned", reqOff-int64(idx))
+	}
+}
+
+func TestShortReadDeliversStrictPrefixWithSuccess(t *testing.T) {
+	base := vfs.NewMemFS()
+	payload := make([]byte, 4096)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	if err := vfs.WriteFile(base, "/f", payload); err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector(Config{Model: ShortRead}.Signature(), 0, stats.NewRNG(11))
+	fs := inj.Wrap(base)
+
+	f, err := fs.Open("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 1024)
+	n, err := f.Read(buf)
+	if err != nil {
+		t.Fatalf("short read must report success, got %v", err)
+	}
+	if n >= len(buf) {
+		t.Fatalf("read delivered %d of %d bytes; must be strictly fewer", n, len(buf))
+	}
+	if !bytes.Equal(buf[:n], payload[:n]) {
+		t.Fatal("delivered prefix corrupted; short-read must truncate, not mutate")
+	}
+	mut, fired := inj.Fired()
+	if !fired || mut.Kept != n || mut.Length != len(buf) {
+		t.Fatalf("mutation = %+v (n=%d)", mut, n)
+	}
+	// The handle advanced only past the delivered bytes, and the media is
+	// unchanged: resuming the loop reads the remainder intact.
+	rest := make([]byte, len(payload))
+	m, _ := f.Read(rest)
+	if !bytes.Equal(rest[:m], payload[n:n+m]) {
+		t.Fatal("sequential offset did not account for the short delivery")
+	}
+	if got, _ := vfs.ReadFile(base, "/f"); !bytes.Equal(got, payload) {
+		t.Fatal("short read altered the media")
+	}
+}
+
+func TestShortReadAt(t *testing.T) {
+	base := vfs.NewMemFS()
+	payload := bytes.Repeat([]byte{0x42}, 2048)
+	if err := vfs.WriteFile(base, "/f", payload); err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector(Config{Model: ShortRead}.Signature(), 0, stats.NewRNG(11))
+	fs := inj.Wrap(base)
+	f, err := fs.Open("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 512)
+	n, err := f.ReadAt(buf, 1024)
+	if err != nil || n >= len(buf) {
+		t.Fatalf("ReadAt = %d, %v; want a successful strict prefix", n, err)
+	}
+	if !bytes.Equal(buf[:n], payload[1024:1024+n]) {
+		t.Fatal("delivered bytes corrupted")
+	}
+}

@@ -13,7 +13,7 @@ import (
 	"ffis/internal/vfs"
 )
 
-func newReadInjector(model FaultModel, target int64, seed uint64) *Injector {
+func newReadInjector(model Model, target int64, seed uint64) *Injector {
 	sig := Config{Model: model}.Signature()
 	return NewInjector(sig, target, stats.NewRNG(seed))
 }

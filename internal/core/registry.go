@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// The model registry: fault models register themselves at package
+// initialization (each built-in model's file calls Register from its var
+// declaration) and every campaign driver — CLI flags, experiment grids,
+// examples — resolves models through it by name or short code. The
+// vocabulary is open: a new model is one new file with a type and a
+// Register call, with no edits to the injector, the campaign runner, the
+// engine, or any command-line switch.
+
+var (
+	regMu    sync.RWMutex
+	regOrder []Model
+	regIndex map[string]Model
+)
+
+// regKey canonicalizes a lookup key: model names, short codes, and aliases
+// resolve case-insensitively.
+func regKey(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
+
+// Register adds a model to the registry under its Name, its Short code,
+// and any extra aliases, returning the model so built-ins can register from
+// their var declarations. It panics on an empty or duplicate identity —
+// registration happens at init time, where a misregistered model should
+// fail the process (and the conformance suite) loudly, not surface as a
+// campaign that silently resolves the wrong model.
+func Register(m Model, aliases ...string) Model {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if regIndex == nil {
+		regIndex = map[string]Model{}
+	}
+	if m == nil {
+		panic("core: Register(nil model)")
+	}
+	if m.Name() == "" || m.Short() == "" {
+		panic(fmt.Sprintf("core: model %T needs a non-empty Name and Short", m))
+	}
+	if len(m.Hosts()) == 0 {
+		panic(fmt.Sprintf("core: model %s hosts no primitives", m.Name()))
+	}
+	keys := append([]string{m.Name(), m.Short()}, aliases...)
+	for _, k := range keys {
+		key := regKey(k)
+		if key == "" || key == "list" {
+			panic(fmt.Sprintf("core: model %s: reserved or empty key %q", m.Name(), k))
+		}
+		// Identity is compared by Name, never by interface equality: a
+		// model whose struct type carries uncomparable fields must still
+		// get the curated duplicate-key diagnostic, and an alias that
+		// restates the model's own name or short code is harmless.
+		if prev, ok := regIndex[key]; ok && prev.Name() != m.Name() {
+			panic(fmt.Sprintf("core: model key %q already registered by %s", k, prev.Name()))
+		}
+		regIndex[key] = m
+	}
+	regOrder = append(regOrder, m)
+	return m
+}
+
+// Lookup resolves a model by name, short code, or alias, case-insensitively.
+func Lookup(name string) (Model, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	m, ok := regIndex[regKey(name)]
+	return m, ok
+}
+
+// ParseModel is the one fault-model name parser every command-line surface
+// shares: it resolves long names ("dropped-write"), short codes ("DW"), and
+// registered aliases ("dropped"), case-insensitively, and returns an error
+// naming the known vocabulary otherwise.
+func ParseModel(s string) (Model, error) {
+	if m, ok := Lookup(s); ok {
+		return m, nil
+	}
+	names := make([]string, 0, len(AllModels()))
+	for _, m := range AllModels() {
+		names = append(names, fmt.Sprintf("%s (%s)", m.Name(), m.Short()))
+	}
+	return nil, fmt.Errorf("core: unknown fault model %q; registered models: %s",
+		s, strings.Join(names, ", "))
+}
+
+// MustModel resolves a model by name and panics if it is not registered —
+// for wiring code whose names are compile-time constants.
+func MustModel(name string) Model {
+	m, err := ParseModel(name)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// AllModels lists every registered fault model: the write-path family
+// first, then the read-path family, each in registration order. Grids that
+// sweep AllModels pick up newly registered models automatically.
+func AllModels() []Model {
+	return append(WriteModels(), ReadModels()...)
+}
+
+// WriteModels lists the registered write-path models (default target
+// primitive is not read) in registration order.
+func WriteModels() []Model { return familyModels(false) }
+
+// ReadModels lists the registered read-path models (faults that surface
+// when data is consumed, not produced) in registration order.
+func ReadModels() []Model { return familyModels(true) }
+
+func familyModels(read bool) []Model {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	var out []Model
+	for _, m := range regOrder {
+		if IsRead(m) == read {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// ModelTable renders the registry as the table the -list-models CLI flags
+// print: name, short code, hostable primitives, and the feature line.
+func ModelTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %-6s %-28s %s\n", "fault model", "short", "hostable primitives", "feature")
+	for _, m := range AllModels() {
+		prims := make([]string, len(m.Hosts()))
+		for i, p := range m.Hosts() {
+			prims[i] = string(p)
+		}
+		fmt.Fprintf(&b, "%-20s %-6s %-28s %s\n", m.Name(), m.Short(), strings.Join(prims, ","), m.Describe())
+	}
+	return b.String()
+}

@@ -78,7 +78,7 @@ type resultJSON struct {
 func toJSON(r CampaignResult) resultJSON {
 	out := resultJSON{
 		Workload:     r.Workload,
-		Model:        r.Signature.Model.String(),
+		Model:        r.Signature.Model.Name(),
 		Primitive:    string(r.Signature.Primitive),
 		Runs:         r.Tally.Total(),
 		ProfileCount: r.ProfileCount,

@@ -84,7 +84,7 @@ func Fig7WithDetector(o Options) (string, error) {
 		if useAvg {
 			suffix = "+avg"
 		}
-		for _, model := range core.Models() {
+		for _, model := range Fig7Models() {
 			s := fig7Spec("nyx", w, model, opts)
 			s.Key += suffix
 			specs = append(specs, s)

@@ -90,18 +90,31 @@ func (o Options) nyxSim() nyx.SimConfig {
 	return sim
 }
 
-// Table1 renders the fault model specification (Table I).
+// Fig7Models returns the paper's Table I write-model vocabulary (BF, SW,
+// DW) the Figure 7 grids sweep, resolved through the model registry in the
+// paper's presentation order.
+func Fig7Models() []core.Model {
+	return []core.Model{
+		core.MustModel("bit-flip"),
+		core.MustModel("shorn-write"),
+		core.MustModel("dropped-write"),
+	}
+}
+
+// Table1 renders the fault model specification: the Table I rows plus every
+// further model the registry knows (the read-path family and any new
+// registrations), so the table is regenerated rather than transcribed.
 func Table1() string {
 	var b strings.Builder
 	b.WriteString("Table I: fault models supported by FFIS\n")
-	fmt.Fprintf(&b, "%-15s %-45s %s\n", "fault model", "examples of affected FUSE primitives", "features")
-	for _, m := range core.Models() {
-		prims, feature := m.Spec()
+	fmt.Fprintf(&b, "%-18s %-45s %s\n", "fault model", "examples of affected FUSE primitives", "features")
+	for _, m := range core.AllModels() {
+		prims := m.Hosts()
 		names := make([]string, len(prims))
 		for i, p := range prims {
 			names[i] = "FFIS_" + string(p)
 		}
-		fmt.Fprintf(&b, "%-15s %-45s %s\n", m, strings.Join(names, ", "), feature)
+		fmt.Fprintf(&b, "%-18s %-45s %s\n", m.Name(), strings.Join(names, ", "), m.Describe())
 	}
 	return b.String()
 }
@@ -189,7 +202,7 @@ func newBareWorkload(cell string, o Options) (core.Workload, error) {
 // fig7Spec builds the engine spec for one (cell, model) grid entry. The
 // WorldKey groups the cell's fault models onto one post-Setup snapshot and
 // one memoized profile count.
-func fig7Spec(cellName string, w core.Workload, model core.FaultModel, o Options) core.CampaignSpec {
+func fig7Spec(cellName string, w core.Workload, model core.Model, o Options) core.CampaignSpec {
 	return core.CampaignSpec{
 		Key:      cellName + "/" + model.Short(),
 		WorldKey: cellName,
@@ -209,11 +222,11 @@ func fig7Spec(cellName string, w core.Workload, model core.FaultModel, o Options
 // cell's producer→consumer pipeline variant: the standard Figure 7 phases
 // of nyx and qmcpack only write (analysis happens during classification),
 // so a read fault would have no dynamic instance to land on.
-func Fig7Cell(cell string, model core.FaultModel, o Options) (core.CampaignResult, error) {
+func Fig7Cell(cell string, model core.Model, o Options) (core.CampaignResult, error) {
 	o = o.normalize()
 	var w core.Workload
 	var err error
-	if model.IsRead() {
+	if core.IsRead(model) {
 		w, err = NewPipelineWorkload(cell, o)
 		if err == nil && len(o.Mounts) > 0 {
 			w.NewFS = NewFSFromSpecs(o.Mounts)
@@ -234,13 +247,14 @@ func Fig7Cell(cell string, model core.FaultModel, o Options) (core.CampaignResul
 // pass is shared by the three fault models.
 func Fig7(o Options) (string, []classify.Cell, error) {
 	o = o.normalize()
-	specs := make([]core.CampaignSpec, 0, len(Fig7Cells)*len(core.Models()))
+	models := Fig7Models()
+	specs := make([]core.CampaignSpec, 0, len(Fig7Cells)*len(models))
 	for _, cellName := range Fig7Cells {
 		w, err := NewWorkload(cellName, o)
 		if err != nil {
 			return "", nil, fmt.Errorf("cell %s: %w", cellName, err)
 		}
-		for _, model := range core.Models() {
+		for _, model := range models {
 			specs = append(specs, fig7Spec(cellName, w, model, o))
 		}
 	}
@@ -269,7 +283,7 @@ func Fig7Sequential(o Options) (string, []classify.Cell, error) {
 		if err != nil {
 			return "", nil, fmt.Errorf("cell %s: %w", cellName, err)
 		}
-		for _, model := range core.Models() {
+		for _, model := range Fig7Models() {
 			res, err := core.Campaign(core.CampaignConfig{
 				Fault:       core.Config{Model: model},
 				Runs:        o.Runs,

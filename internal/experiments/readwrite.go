@@ -160,9 +160,11 @@ func readWriteLayout(cell string) (StorageLayout, error) {
 }
 
 // ReadWriteGrid runs the read-vs-write characterization: every cell ×
-// every fault model (write family ∪ read family) × {flat, tiered} world,
-// as one engine grid. It returns the rendered Figure 7-style table plus
-// the raw cells in spec order.
+// every registered fault model (write family ∪ read family) × {flat,
+// tiered} world, as one engine grid. The model axis comes straight from
+// the registry, so a newly registered model — misdirected-write and
+// short-read ship this way — joins the grid with no edits here. It returns
+// the rendered Figure 7-style table plus the raw cells in spec order.
 func ReadWriteGrid(o Options) (string, []classify.Cell, error) {
 	o = o.normalize()
 	var specs []core.CampaignSpec
@@ -201,6 +203,11 @@ func ReadWriteGrid(o Options) (string, []classify.Cell, error) {
 		}
 		cells = append(cells, classify.Cell{Label: r.Spec.Key, Tally: r.Result.Tally})
 	}
-	title := fmt.Sprintf("Read-path vs write-path faults (%d runs per cell; BF/SW/DW write family, RB/UR/LC read family)", o.Runs)
+	var shorts []string
+	for _, m := range core.AllModels() {
+		shorts = append(shorts, m.Short())
+	}
+	title := fmt.Sprintf("Read-path vs write-path faults (%d runs per cell; registered models %s)",
+		o.Runs, strings.Join(shorts, "/"))
 	return classify.Table(title, cells), cells, nil
 }

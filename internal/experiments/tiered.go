@@ -142,7 +142,7 @@ var TieredCells = []string{"nyx", "MT2", "MT4"}
 // share one WorldKey — the mounted world is built and Setup once, profile
 // counts are memoized per armed-mount set, and every placement's runs draw
 // from the engine's shared pool.
-func Tiered(cells []string, model core.FaultModel, o Options) (string, []PlacementResult, error) {
+func Tiered(cells []string, model core.Model, o Options) (string, []PlacementResult, error) {
 	o = o.normalize()
 	if len(cells) == 0 {
 		cells = TieredCells
@@ -193,9 +193,9 @@ func Tiered(cells []string, model core.FaultModel, o Options) (string, []Placeme
 }
 
 // RenderTiered formats the sweep as a per-placement outcome table.
-func RenderTiered(model core.FaultModel, runs int, results []PlacementResult) string {
+func RenderTiered(model core.Model, runs int, results []PlacementResult) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Tiered storage: %s faults by placement (%d runs per armed cell)\n", model, runs)
+	fmt.Fprintf(&b, "Tiered storage: %s faults by placement (%d runs per armed cell)\n", model.Name(), runs)
 	fmt.Fprintf(&b, "%-9s %-13s %-22s %8s %7s %7s %9s %7s\n",
 		"workload", "placement", "armed mounts", "targets", "benign", "SDC", "detected", "crash")
 	for _, r := range results {
