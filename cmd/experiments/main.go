@@ -14,6 +14,18 @@
 // run on the campaign engine: each cell's Setup executes once and every
 // injection run gets a copy-on-write clone of that snapshot, with all cells
 // drawing from one bounded worker pool (-jobs).
+//
+// Persistent results: -out streams every grid cell's run records to a JSONL
+// store, -resume continues an interrupted store (finalized cells load from
+// disk, partial cells pick up at the first missing run), -shard i/n
+// executes only that slice of every cell's run indices (merge shard stores
+// with -merge), and -report re-renders a store as text, CSV, JSON, or
+// Markdown without re-running anything:
+//
+//	experiments -fig 7 -runs 1000 -out ./fig7
+//	experiments -fig 7 -runs 1000 -out ./fig7 -resume   # after a crash
+//	experiments -out ./fig7 -report markdown
+//	experiments -merge ./s0 -merge ./s1 -out ./fig7
 package main
 
 import (
@@ -25,7 +37,18 @@ import (
 
 	"ffis/internal/core"
 	"ffis/internal/experiments"
+	"ffis/internal/results"
 )
+
+// stringList is a repeatable string flag.
+type stringList []string
+
+func (l *stringList) String() string { return strings.Join(*l, ",") }
+
+func (l *stringList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
 
 func main() {
 	var (
@@ -47,7 +70,13 @@ func main() {
 		model    = flag.String("model", "", "restrict the -tiered sweep to one fault model (name, short code, or alias; default: the Table I write family)")
 		listOnly = flag.Bool("list-models", false, "print the fault-model registry table and exit")
 		outdir   = flag.String("outdir", "", "directory for image artifacts (Figures 5 and 9)")
+		storeDir = flag.String("out", "", "stream grid run records to a JSONL results store at this directory")
+		resume   = flag.Bool("resume", false, "resume the interrupted store at -out, skipping persisted work")
+		shardStr = flag.String("shard", "", "execute only shard i/n of every cell's run indices (requires -out)")
+		report   = flag.String("report", "", "re-render the store at -out (text, csv, json, markdown) and exit without running")
 	)
+	var mergeSrcs stringList
+	flag.Var(&mergeSrcs, "merge", "merge this shard store into -out (repeatable) and exit without running")
 	flag.Parse()
 
 	if *listOnly || strings.EqualFold(*model, "list") {
@@ -71,6 +100,45 @@ func main() {
 	die := func(err error) {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
+	}
+
+	if (*resume || *shardStr != "" || *report != "" || len(mergeSrcs) > 0) && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -resume, -shard, -report, and -merge all operate on a results store; add -out DIR")
+		os.Exit(2)
+	}
+	if len(mergeSrcs) > 0 {
+		if err := results.Merge(*storeDir, mergeSrcs...); err != nil {
+			die(err)
+		}
+		fmt.Printf("merged %d shard stores into %s\n", len(mergeSrcs), *storeDir)
+		return
+	}
+	if *report != "" {
+		st, err := results.Open(*storeDir)
+		if err != nil {
+			die(err)
+		}
+		out, err := results.Report(st, *report)
+		if err != nil {
+			die(err)
+		}
+		fmt.Print(out)
+		return
+	}
+	if *storeDir != "" {
+		shard, err := results.ParseShard(*shardStr)
+		if err != nil {
+			die(err)
+		}
+		st, err := results.CreateOrResume(*storeDir, *resume, results.Manifest{
+			Seed: *seed, Runs: *runs, Shard: shard.String(),
+		})
+		if err != nil {
+			die(err)
+		}
+		o.RunGrid = func(e *core.Engine, specs []core.CampaignSpec) ([]core.GridResult, error) {
+			return results.RunGrid(e, st, shard, specs)
+		}
 	}
 	saveImages := func(prefix string, images map[string][]byte) {
 		if *outdir == "" {

@@ -20,6 +20,22 @@
 // other tier clean:
 //
 //	ffis -app nyx -model bf -mount /plt00000 -mount /out -arm /plt00000
+//
+// Persistent results: -out streams every run record to a JSONL store as it
+// completes, so a killed campaign loses nothing and the stored records can
+// be re-rendered later. -resume continues an interrupted store from the
+// first missing run, -shard i/n executes only that slice of the run indices
+// (run each shard on its own machine into its own -out, then -merge them),
+// and -report re-renders a store without re-running anything. All of it is
+// seed-deterministic: resumed and merged stores are byte-identical to an
+// uninterrupted single-process run.
+//
+//	ffis -app MT2 -model bf -runs 1000 -out ./res          # durable campaign
+//	ffis -app MT2 -model bf -runs 1000 -out ./res -resume  # continue after a crash
+//	ffis -app MT2 -model bf -runs 1000 -out ./s0 -shard 0/2
+//	ffis -app MT2 -model bf -runs 1000 -out ./s1 -shard 1/2
+//	ffis -merge ./s0 -merge ./s1 -out ./res                # reassemble shards
+//	ffis -out ./res -report markdown                       # re-render from disk
 package main
 
 import (
@@ -31,6 +47,7 @@ import (
 	"ffis/internal/classify"
 	"ffis/internal/core"
 	"ffis/internal/experiments"
+	"ffis/internal/results"
 	"ffis/internal/trace"
 	"ffis/internal/vfs"
 )
@@ -61,13 +78,48 @@ func main() {
 		asJSON    = flag.Bool("json", false, "emit the machine-readable JSON result")
 		showTrace = flag.Bool("trace", false, "print the workload's fault-free I/O pattern profile first")
 	)
-	var mountSpecs, armMounts stringList
+	var (
+		outDir    = flag.String("out", "", "stream run records to a JSONL results store at this directory")
+		resume    = flag.Bool("resume", false, "resume the interrupted store at -out, skipping persisted runs")
+		shardSpec = flag.String("shard", "", "execute only shard i/n of the run indices (requires -out; e.g. 0/4)")
+		reportFmt = flag.String("report", "", "re-render the store at -out (text, csv, json, markdown) and exit without running")
+	)
+	var mountSpecs, armMounts, mergeSrcs stringList
 	flag.Var(&mountSpecs, "mount", "mount a backend at PATH[=BACKEND] (repeatable; BACKEND: mem, os:DIR)")
 	flag.Var(&armMounts, "arm", "arm the injector only on this mount point (repeatable; requires -mount)")
+	flag.Var(&mergeSrcs, "merge", "merge this shard store into -out (repeatable) and exit without running")
 	flag.Parse()
 
 	if *listOnly || strings.EqualFold(*model, "list") {
 		fmt.Print(core.ModelTable())
+		return
+	}
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "ffis: %v\n", err)
+		os.Exit(1)
+	}
+	if (*resume || *shardSpec != "" || *reportFmt != "" || len(mergeSrcs) > 0) && *outDir == "" {
+		fmt.Fprintln(os.Stderr, "ffis: -resume, -shard, -report, and -merge all operate on a results store; add -out DIR")
+		os.Exit(2)
+	}
+	if len(mergeSrcs) > 0 {
+		if err := results.Merge(*outDir, mergeSrcs...); err != nil {
+			fail(err)
+		}
+		fmt.Printf("merged %d shard stores into %s\n", len(mergeSrcs), *outDir)
+		return
+	}
+	if *reportFmt != "" {
+		st, err := results.Open(*outDir)
+		if err != nil {
+			fail(err)
+		}
+		out, err := results.Report(st, *reportFmt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(out)
 		return
 	}
 	fm, err := core.ParseModel(*model)
@@ -106,6 +158,21 @@ func main() {
 	}
 	if *progress {
 		opts.Progress = experiments.ProgressPrinter(os.Stderr)
+	}
+	if *outDir != "" {
+		shard, err := results.ParseShard(*shardSpec)
+		if err != nil {
+			fail(err)
+		}
+		st, err := results.CreateOrResume(*outDir, *resume, results.Manifest{
+			Seed: *seed, Runs: *runs, Shard: shard.String(),
+		})
+		if err != nil {
+			fail(err)
+		}
+		opts.RunGrid = func(e *core.Engine, specs []core.CampaignSpec) ([]core.GridResult, error) {
+			return results.RunGrid(e, st, shard, specs)
+		}
 	}
 	if *showTrace {
 		w, err := experiments.NewWorkload(*app, opts)
@@ -146,6 +213,14 @@ func main() {
 	if len(armMounts) > 0 {
 		fmt.Printf("injector armed on mounts: %s (all other tiers stay clean)\n",
 			strings.Join(armMounts, ", "))
+	}
+	if *outDir != "" {
+		note := ""
+		if *shardSpec != "" {
+			note = fmt.Sprintf(" (shard %s)", *shardSpec)
+		}
+		fmt.Printf("run records persisted to %s%s; re-render any time with -out %s -report FORMAT\n",
+			*outDir, note, *outDir)
 	}
 	fmt.Printf("fault signature: %s\n", res.Signature)
 	fmt.Printf("profiled %d dynamic executions of the target primitive\n", res.ProfileCount)

@@ -53,6 +53,17 @@ func (o Outcome) String() string {
 	}
 }
 
+// ParseOutcome inverts Outcome.String, case-insensitively: the decoder used
+// when persisted run records are loaded back from disk.
+func ParseOutcome(s string) (Outcome, error) {
+	for _, o := range Outcomes() {
+		if strings.EqualFold(s, o.String()) {
+			return o, nil
+		}
+	}
+	return 0, fmt.Errorf("classify: unknown outcome %q", s)
+}
+
 // Tally accumulates outcome counts for one campaign cell
 // (one application × one fault model).
 type Tally struct {
@@ -131,15 +142,50 @@ func Table(title string, cells []Cell) string {
 	return b.String()
 }
 
+// QuoteCSV renders one field per RFC 4180: fields containing a comma, a
+// double quote, or a line break are wrapped in double quotes with embedded
+// quotes doubled; everything else passes through verbatim. Every CSV
+// surface (CSV here, the results report generator) goes through it so a
+// cell label like `nyx,tiered` or `MT"2"` can never desynchronize columns.
+func QuoteCSV(field string) string {
+	if !strings.ContainsAny(field, ",\"\n\r") {
+		return field
+	}
+	return `"` + strings.ReplaceAll(field, `"`, `""`) + `"`
+}
+
 // CSV renders cells as machine-readable comma-separated rows
-// (label,runs,benign,sdc,detected,crash).
+// (label,runs,benign,sdc,detected,crash), with RFC 4180 quoting on the
+// label field.
 func CSV(cells []Cell) string {
 	var b strings.Builder
 	b.WriteString("label,runs,benign,sdc,detected,crash\n")
 	for _, c := range cells {
 		tt := c.Tally
-		fmt.Fprintf(&b, "%s,%d,%d,%d,%d,%d\n", c.Label, tt.Total(),
+		fmt.Fprintf(&b, "%s,%d,%d,%d,%d,%d\n", QuoteCSV(c.Label), tt.Total(),
 			tt.Count(Benign), tt.Count(SDC), tt.Count(Detected), tt.Count(Crash))
+	}
+	return b.String()
+}
+
+// Markdown renders cells as a GitHub-flavored Markdown table in the Figure
+// 7 / Table III layout — percentage columns per outcome plus the Wilson 95%
+// interval on the SDC rate — for dropping campaign results straight into a
+// writeup. Pipes in labels are escaped so a label can never break the row.
+func Markdown(title string, cells []Cell) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s\n\n", title)
+	b.WriteString("| cell | runs | benign | SDC | detected | crash | SDC 95% CI |\n")
+	b.WriteString("|---|---:|---:|---:|---:|---:|---|\n")
+	for _, c := range cells {
+		tt := c.Tally
+		sdcLo, sdcHi := tt.Rate(SDC).Wilson95()
+		label := strings.ReplaceAll(c.Label, "|", `\|`)
+		fmt.Fprintf(&b, "| %s | %d | %.1f%% | %.1f%% | %.1f%% | %.1f%% | [%.1f, %.1f]%% |\n",
+			label, tt.Total(),
+			100*tt.Rate(Benign).P(), 100*tt.Rate(SDC).P(),
+			100*tt.Rate(Detected).P(), 100*tt.Rate(Crash).P(),
+			100*sdcLo, 100*sdcHi)
 	}
 	return b.String()
 }

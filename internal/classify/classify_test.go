@@ -118,3 +118,67 @@ func TestGroupCellsSortsWithoutMutating(t *testing.T) {
 		t.Fatal("input mutated")
 	}
 }
+
+func TestQuoteCSV(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{"has,comma", `"has,comma"`},
+		{`has"quote`, `"has""quote"`},
+		{"has\nnewline", "\"has\nnewline\""},
+		{`both,"of`, `"both,""of"`},
+	}
+	for _, c := range cases {
+		if got := QuoteCSV(c.in); got != c.want {
+			t.Errorf("QuoteCSV(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestCSVQuotesHostileLabels pins the RFC 4180 fix: a label containing a
+// comma or quote must stay one field instead of shifting every count
+// column.
+func TestCSVQuotesHostileLabels(t *testing.T) {
+	var tl Tally
+	tl.Add(SDC)
+	out := CSV([]Cell{{Label: `nyx,tiered "hot"`, Tally: tl}})
+	want := `"nyx,tiered ""hot""",1,0,1,0,0`
+	if !strings.Contains(out, want) {
+		t.Fatalf("csv row %q missing quoted label row %q", out, want)
+	}
+	// Every data row must still parse to exactly 6 fields.
+	rows := strings.Split(strings.TrimSpace(out), "\n")
+	if len(rows) != 2 {
+		t.Fatalf("rows: %q", rows)
+	}
+}
+
+func TestParseOutcome(t *testing.T) {
+	for _, o := range Outcomes() {
+		got, err := ParseOutcome(o.String())
+		if err != nil || got != o {
+			t.Fatalf("ParseOutcome(%q) = %v, %v", o.String(), got, err)
+		}
+	}
+	if got, err := ParseOutcome("sdc"); err != nil || got != SDC {
+		t.Fatalf("case-insensitive parse failed: %v, %v", got, err)
+	}
+	if _, err := ParseOutcome("mystery"); err == nil {
+		t.Fatal("unknown outcome must error")
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	var tl Tally
+	tl.Add(Benign)
+	tl.Add(SDC)
+	out := Markdown("demo", []Cell{{Label: "a|b", Tally: tl}})
+	if !strings.Contains(out, "### demo") || !strings.Contains(out, "| runs |") {
+		t.Fatalf("markdown output:\n%s", out)
+	}
+	if !strings.Contains(out, `a\|b`) {
+		t.Fatalf("pipe in label must be escaped:\n%s", out)
+	}
+	if !strings.Contains(out, "50.0%") {
+		t.Fatalf("missing rates:\n%s", out)
+	}
+}

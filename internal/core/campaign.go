@@ -70,6 +70,67 @@ type CampaignConfig struct {
 	// builds); this is the reference path equivalence tests and the
 	// engine-speedup benchmarks compare against.
 	FreshWorlds bool
+	// Sink, when non-nil, receives every finished run record as it
+	// completes: BeginCampaign once after profiling succeeds, then one
+	// Record call per successful run. Delivery is serialized (calls never
+	// overlap) but arrives in completion order, not index order — a
+	// persistent sink that needs index order (internal/results) reorders
+	// internally. A sink error aborts record delivery and fails the
+	// campaign; records already delivered stay delivered.
+	Sink RecordSink
+	// DiscardRecords drops the per-run Records slice from the
+	// CampaignResult — the Tally still covers every run — so large grids
+	// that stream records to a Sink (or only need rates) run in O(workers)
+	// memory instead of O(Runs).
+	DiscardRecords bool
+	// RunFilter, when non-nil, selects which run indices in [0, Runs)
+	// execute; the rest are skipped entirely. Because each run's RNG
+	// stream derives purely from (Seed, index) via runStream, the executed
+	// subset produces records bit-identical to the same indices of an
+	// unfiltered campaign — this is what makes persisted campaigns
+	// resumable (skip already-stored indices) and shardable (each shard
+	// owns index % n == i) with no statistical caveats. The Tally and
+	// Records of the result cover only the executed indices.
+	RunFilter func(idx int) bool
+}
+
+// execTotal counts the run indices the campaign will actually execute
+// under its RunFilter.
+func (cfg CampaignConfig) execTotal() int {
+	if cfg.RunFilter == nil {
+		return cfg.Runs
+	}
+	n := 0
+	for idx := 0; idx < cfg.Runs; idx++ {
+		if cfg.RunFilter(idx) {
+			n++
+		}
+	}
+	return n
+}
+
+// CampaignMeta identifies the campaign a record stream belongs to: what a
+// persistent sink needs to label (and, on resume, re-validate) its stream.
+type CampaignMeta struct {
+	Workload     string
+	Signature    Signature
+	ProfileCount int64
+	Runs         int
+	Seed         uint64
+}
+
+// RecordSink streams finished run records out of a campaign while it runs,
+// so results reach durable storage before the process exits and the
+// campaign need not retain them in memory. Implementations never see
+// overlapping calls.
+type RecordSink interface {
+	// BeginCampaign is invoked once per campaign, after the profiling pass
+	// succeeds and before any Record call. A resuming sink validates meta
+	// against its persisted header here: a mismatched profile count or
+	// seed means the stored records cannot belong to this campaign.
+	BeginCampaign(meta CampaignMeta) error
+	// Record receives one successfully completed run.
+	Record(RunRecord) error
 }
 
 // RunRecord captures a single fault-injection run.
@@ -276,19 +337,52 @@ func runStream(seed uint64, idx int) *stats.RNG {
 	return stats.NewRNG(seed ^ (uint64(idx)+1)*0x9e3779b97f4a7c15)
 }
 
-// runInjections executes cfg.Runs injection runs against worlds served by
-// snap, bounded by the semaphore sem — a campaign-private pool under
-// Campaign, the grid-wide shared pool under Engine. progress (optional)
-// receives the completed-run count as runs finish.
+// runInjections executes the campaign's injection runs (all of [0, Runs),
+// or the RunFilter subset) against worlds served by snap, bounded by the
+// semaphore sem — a campaign-private pool under Campaign, the grid-wide
+// shared pool under Engine. progress (optional) receives the completed-run
+// count as runs finish.
+//
+// Error semantics: a failing run (world build or arming failure — never the
+// application's own error, which classification absorbs) does not poison
+// its siblings. Every successful run is tallied, recorded, and delivered to
+// the sink; the returned error reports the lowest failing run index. The
+// result's Tally therefore always covers exactly res.Records (plus nothing
+// else), never a silent prefix of them.
 func runInjections(cfg CampaignConfig, w Workload, snap *WorldSnapshot, sig Signature, count int64, sem chan struct{}, progress func(done int)) (CampaignResult, error) {
-	records := make([]RunRecord, cfg.Runs)
-	errs := make([]error, cfg.Runs)
-	var wg sync.WaitGroup
-	// progressMu makes increment-and-report atomic, so Done counts reach
-	// the callback in monotone order.
-	var progressMu sync.Mutex
-	done := 0
+	res := CampaignResult{Workload: w.Name, Signature: sig, ProfileCount: count}
+	if cfg.Sink != nil {
+		if err := cfg.Sink.BeginCampaign(CampaignMeta{
+			Workload: w.Name, Signature: sig,
+			ProfileCount: count, Runs: cfg.Runs, Seed: cfg.Seed,
+		}); err != nil {
+			return res, fmt.Errorf("core: record sink: %w", err)
+		}
+	}
+	// In streaming mode (DiscardRecords) nothing per-index is retained:
+	// the tally accumulates online and memory stays O(workers).
+	var records []RunRecord
+	var ran []bool
+	if !cfg.DiscardRecords {
+		records = make([]RunRecord, cfg.Runs)
+		ran = make([]bool, cfg.Runs)
+	}
+	var (
+		wg sync.WaitGroup
+		// mu guards the shared accumulators and serializes sink and
+		// progress delivery, so Done counts reach the callback in
+		// monotone order and the sink never sees overlapping calls.
+		mu      sync.Mutex
+		done    int
+		tally   classify.Tally
+		failIdx = -1
+		failErr error
+		sinkErr error
+	)
 	for idx := 0; idx < cfg.Runs; idx++ {
+		if cfg.RunFilter != nil && !cfg.RunFilter(idx) {
+			continue
+		}
 		idx := idx
 		sem <- struct{}{}
 		wg.Add(1)
@@ -305,29 +399,45 @@ func runInjections(cfg CampaignConfig, w Workload, snap *WorldSnapshot, sig Sign
 				return runOnceWorld(base, w, sig, target, rng, cfg.ArmMounts)
 			}()
 			rec.Index = idx
-			records[idx] = rec
-			errs[idx] = err
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if failIdx < 0 || idx < failIdx {
+					failIdx, failErr = idx, err
+				}
+			} else {
+				tally.Add(rec.Outcome)
+				if records != nil {
+					records[idx], ran[idx] = rec, true
+				}
+				if cfg.Sink != nil && sinkErr == nil {
+					// The sink goes sterile after its first error: a
+					// persistent store that failed mid-stream must not
+					// receive further records it could misorder.
+					sinkErr = cfg.Sink.Record(rec)
+				}
+			}
+			done++
 			if progress != nil {
-				progressMu.Lock()
-				done++
 				progress(done)
-				progressMu.Unlock()
 			}
 		}()
 	}
 	wg.Wait()
 
-	res := CampaignResult{
-		Workload:     w.Name,
-		Signature:    sig,
-		ProfileCount: count,
-		Records:      records,
-	}
-	for i, rec := range records {
-		if errs[i] != nil {
-			return res, fmt.Errorf("core: run %d: %w", i, errs[i])
+	res.Tally = tally
+	if records != nil {
+		for idx, ok := range ran {
+			if ok {
+				res.Records = append(res.Records, records[idx])
+			}
 		}
-		res.Tally.Add(rec.Outcome)
+	}
+	switch {
+	case failErr != nil:
+		return res, fmt.Errorf("core: run %d: %w", failIdx, failErr)
+	case sinkErr != nil:
+		return res, fmt.Errorf("core: record sink: %w", sinkErr)
 	}
 	return res, nil
 }

@@ -288,19 +288,23 @@ func (e *Engine) runSpec(spec CampaignSpec, sem chan struct{}) (CampaignResult, 
 		return CampaignResult{}, err
 	}
 
+	// A RunFilter (resume skipping persisted indices, shard ownership)
+	// shrinks the work actually executed; progress accounting reports the
+	// executed total so "done/total" reaches 100% exactly at completion.
+	total := cfg.execTotal()
 	var progress func(int)
 	if e.Progress != nil {
 		progress = func(done int) {
-			if done < cfg.Runs { // the completion event carries the result
-				e.emit(EngineEvent{Key: spec.Key, Done: done, Total: cfg.Runs})
+			if done < total { // the completion event carries the result
+				e.emit(EngineEvent{Key: spec.Key, Done: done, Total: total})
 			}
 		}
 	}
 	res, err := runInjections(cfg, spec.Workload, snap, sig, count, sem, progress)
 	if err != nil {
-		e.emit(EngineEvent{Key: spec.Key, Done: cfg.Runs, Total: cfg.Runs, Err: err})
+		e.emit(EngineEvent{Key: spec.Key, Done: total, Total: total, Err: err})
 		return res, err
 	}
-	e.emit(EngineEvent{Key: spec.Key, Done: cfg.Runs, Total: cfg.Runs, Result: &res})
+	e.emit(EngineEvent{Key: spec.Key, Done: total, Total: total, Result: &res})
 	return res, nil
 }

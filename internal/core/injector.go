@@ -271,9 +271,14 @@ func (f *injectorFile) Write(p []byte) (int, error) {
 		WriteOp{File: f.File, Path: f.File.Name(), Buf: p, Off: off})
 	if act.Skip {
 		// The device dropped (or misdirected) the write but acknowledged
-		// it: advance the sequential offset so subsequent writes land
-		// where the application believes they will.
-		if _, err := f.File.Seek(int64(len(p)), io.SeekCurrent); err != nil {
+		// it: place the sequential offset at the absolute post-write
+		// position so subsequent writes land where the application
+		// believes they will. The seek must be absolute — the model hook
+		// holds the live handle and may have moved it (a misdirected
+		// write persisting the buffer elsewhere), so a relative
+		// Seek(len(p), io.SeekCurrent) would advance from wherever the
+		// hook parked the handle instead of from the intercepted offset.
+		if _, err := f.File.Seek(off+int64(len(p)), io.SeekStart); err != nil {
 			return 0, err
 		}
 		return len(p), nil

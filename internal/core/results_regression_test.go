@@ -1,0 +1,231 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"ffis/internal/stats"
+	"ffis/internal/vfs"
+)
+
+// relocatingSkipModel reproduces the shape of a misdirected write: the hook
+// moves the live handle (persisting data elsewhere would do the same) and
+// then tells the injector to skip the intercepted write. The injector must
+// restore the sequential offset to the absolute post-write position — a
+// relative seek would advance from wherever the hook parked the handle.
+// The model is used directly, never registered: it exists only to pin the
+// Skip-path seek contract.
+type relocatingSkipModel struct {
+	BaseModel
+	parkAt int64
+}
+
+func (relocatingSkipModel) Name() string           { return "relocating-skip" }
+func (relocatingSkipModel) Short() string          { return "RS" }
+func (relocatingSkipModel) Hosts() []vfs.Primitive { return []vfs.Primitive{vfs.PrimWrite} }
+func (relocatingSkipModel) Describe() string       { return "moves the handle, then skips the write" }
+
+func (m relocatingSkipModel) MutateWrite(env Env, op WriteOp) WriteAction {
+	if _, err := op.File.Seek(m.parkAt, io.SeekStart); err != nil {
+		panic(err)
+	}
+	env.Record(Mutation{Model: m, Path: op.Path, Offset: op.Off, Length: len(op.Buf)})
+	return WriteAction{Skip: true}
+}
+
+func TestWriteSkipSeeksAbsolutePostWriteOffset(t *testing.T) {
+	base := vfs.NewMemFS()
+	sig := Config{Model: relocatingSkipModel{parkAt: 100}}.Signature()
+	inj := NewInjector(sig, 0, stats.NewRNG(1)) // claim the first write
+	fs := inj.Wrap(base)
+
+	f, err := fs.Create("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("AAAA")); err != nil { // skipped, handle parked at 100
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("BBBB")); err != nil { // must land at offset 4
+		t.Fatal(err)
+	}
+	f.Close()
+
+	got, err := vfs.ReadFile(base, "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte{0, 0, 0, 0}, []byte("BBBB")...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("after skipped write, file = %q (len %d); want %q — sequential offset drifted to where the hook parked the handle",
+			got, len(got), want)
+	}
+	if _, fired := inj.Fired(); !fired {
+		t.Fatal("fault never recorded")
+	}
+}
+
+// TestRunInjectionsTalliesAllSuccessfulRuns pins the documented error
+// semantics of runInjections: a run that fails for infrastructure reasons
+// (here: a world build error in the middle of the campaign) surfaces as the
+// campaign error, but every other run is still tallied and recorded — the
+// tally can never silently cover just a prefix of the records.
+func TestRunInjectionsTalliesAllSuccessfulRuns(t *testing.T) {
+	const runs = 6
+	const failCall = 4 // call 1 is the profiling world; call 4 is run index 2
+	var calls atomic.Int64
+	w := toyWorkload()
+	w.NewFS = func() (vfs.FS, error) {
+		if calls.Add(1) == failCall {
+			return nil, fmt.Errorf("world %d exploded", failCall)
+		}
+		return vfs.NewMemFS(), nil
+	}
+	res, err := Campaign(CampaignConfig{
+		Fault:       Config{Model: BitFlip},
+		Runs:        runs,
+		Seed:        11,
+		Workers:     1,
+		FreshWorlds: true, // rebuild per run so NewFS is hit once per run
+	}, w)
+	if err == nil {
+		t.Fatal("expected the failing run's error to propagate")
+	}
+	if !strings.Contains(err.Error(), "run 2") {
+		t.Fatalf("error names the wrong run: %v", err)
+	}
+	if got := res.Tally.Total(); got != runs-1 {
+		t.Fatalf("tally covers %d runs, want %d (all successful runs, not a prefix)", got, runs-1)
+	}
+	if got := len(res.Records); got != runs-1 {
+		t.Fatalf("records cover %d runs, want %d", got, runs-1)
+	}
+	for _, rec := range res.Records {
+		if rec.Index == 2 {
+			t.Fatal("failed run 2 must not appear among the records")
+		}
+	}
+}
+
+// collectSink is an in-memory RecordSink for contract tests.
+type collectSink struct {
+	meta    CampaignMeta
+	began   int
+	records []RunRecord
+	failAt  int // fail the Nth Record call (0 = never)
+}
+
+func (s *collectSink) BeginCampaign(meta CampaignMeta) error {
+	s.meta = meta
+	s.began++
+	return nil
+}
+
+func (s *collectSink) Record(rec RunRecord) error {
+	if s.failAt > 0 && len(s.records)+1 == s.failAt {
+		return fmt.Errorf("sink full")
+	}
+	s.records = append(s.records, rec)
+	return nil
+}
+
+func TestCampaignStreamsRecordsToSink(t *testing.T) {
+	const runs = 8
+	sink := &collectSink{}
+	res, err := Campaign(CampaignConfig{
+		Fault:          Config{Model: BitFlip},
+		Runs:           runs,
+		Seed:           5,
+		Workers:        4,
+		Sink:           sink,
+		DiscardRecords: true,
+	}, toyWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.began != 1 {
+		t.Fatalf("BeginCampaign called %d times", sink.began)
+	}
+	if sink.meta.Workload != "toy" || sink.meta.Runs != runs || sink.meta.Seed != 5 || sink.meta.ProfileCount == 0 {
+		t.Fatalf("sink meta = %+v", sink.meta)
+	}
+	if len(sink.records) != runs {
+		t.Fatalf("sink received %d records, want %d", len(sink.records), runs)
+	}
+	if res.Records != nil {
+		t.Fatalf("DiscardRecords kept %d records in memory", len(res.Records))
+	}
+	if res.Tally.Total() != runs {
+		t.Fatalf("tally covers %d runs despite DiscardRecords, want %d", res.Tally.Total(), runs)
+	}
+	// The streamed records must be exactly the records an unsunk campaign
+	// retains (completion order aside).
+	plain, err := Campaign(CampaignConfig{
+		Fault: Config{Model: BitFlip}, Runs: runs, Seed: 5, Workers: 1,
+	}, toyWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byIdx := map[int]RunRecord{}
+	for _, rec := range sink.records {
+		byIdx[rec.Index] = rec
+	}
+	for _, want := range plain.Records {
+		got, ok := byIdx[want.Index]
+		if !ok {
+			t.Fatalf("run %d never reached the sink", want.Index)
+		}
+		if got.Target != want.Target || got.Outcome != want.Outcome || got.Fired != want.Fired {
+			t.Fatalf("run %d: sink saw %+v, in-memory campaign has %+v", want.Index, got, want)
+		}
+	}
+}
+
+func TestCampaignSinkErrorFailsCampaign(t *testing.T) {
+	sink := &collectSink{failAt: 3}
+	_, err := Campaign(CampaignConfig{
+		Fault: Config{Model: BitFlip}, Runs: 6, Seed: 5, Workers: 1, Sink: sink,
+	}, toyWorkload())
+	if err == nil || !strings.Contains(err.Error(), "record sink") {
+		t.Fatalf("sink failure must fail the campaign; got %v", err)
+	}
+	if len(sink.records) != 2 {
+		t.Fatalf("sink must go sterile after its first error; received %d records", len(sink.records))
+	}
+}
+
+func TestCampaignRunFilterExecutesSubsetDeterministically(t *testing.T) {
+	const runs = 10
+	full, err := Campaign(CampaignConfig{
+		Fault: Config{Model: BitFlip}, Runs: runs, Seed: 9, Workers: 2,
+	}, toyWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := Campaign(CampaignConfig{
+		Fault: Config{Model: BitFlip}, Runs: runs, Seed: 9, Workers: 2,
+		RunFilter: func(idx int) bool { return idx%2 == 1 },
+	}, toyWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(half.Records); got != runs/2 {
+		t.Fatalf("filtered campaign ran %d records, want %d", got, runs/2)
+	}
+	for i, rec := range half.Records {
+		want := full.Records[rec.Index]
+		if rec.Index%2 != 1 {
+			t.Fatalf("record %d has unowned index %d", i, rec.Index)
+		}
+		if rec.Target != want.Target || rec.Outcome != want.Outcome || rec.Mutation.BitPos != want.Mutation.BitPos {
+			t.Fatalf("filtered run %d diverged from the unfiltered run: %+v vs %+v", rec.Index, rec, want)
+		}
+	}
+	if half.Tally.Total() != runs/2 {
+		t.Fatalf("filtered tally covers %d runs, want %d", half.Tally.Total(), runs/2)
+	}
+}

@@ -48,7 +48,10 @@ func Ablations(o Options) (string, error) {
 		specs = append(specs, spec(qmcW, pt))
 	}
 
-	grid := o.engine().Run(specs)
+	grid, err := o.runGrid(specs)
+	if err != nil {
+		return "", err
+	}
 	cells := make([]classify.Cell, len(grid))
 	for i, r := range grid {
 		if r.Err != nil {
@@ -90,8 +93,12 @@ func Fig7WithDetector(o Options) (string, error) {
 			specs = append(specs, s)
 		}
 	}
+	grid, err := o.runGrid(specs)
+	if err != nil {
+		return "", err
+	}
 	var cells []classify.Cell
-	for _, r := range o.engine().Run(specs) {
+	for _, r := range grid {
 		if r.Err != nil {
 			return "", fmt.Errorf("detector study %s: %w", r.Spec.Key, r.Err)
 		}

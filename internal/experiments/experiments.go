@@ -52,6 +52,13 @@ type Options struct {
 	// Progress, when set, receives the engine's per-campaign event stream
 	// (cmd flag -progress).
 	Progress func(core.EngineEvent)
+	// RunGrid, when set, replaces Engine.Run for every campaign grid in
+	// this package: the persistence layer (internal/results.RunGrid via
+	// the CLIs' -out/-resume/-shard flags) injects itself here to stream
+	// records to disk, skip already-persisted work, and shard run indices
+	// — without this package importing the store. Nil runs grids
+	// in-memory, exactly as before.
+	RunGrid func(e *core.Engine, specs []core.CampaignSpec) ([]core.GridResult, error)
 }
 
 // engine builds the shared grid scheduler for these options.
@@ -61,6 +68,19 @@ func (o Options) engine() *core.Engine {
 		jobs = o.Workers
 	}
 	return &core.Engine{Jobs: jobs, Progress: o.Progress}
+}
+
+// runGrid executes one engine grid through the configured runner: the
+// durable RunGrid hook when set, the plain in-memory engine otherwise.
+// Every grid in this package goes through here, so -out/-resume/-shard
+// apply uniformly to Fig7, the ablations, the detector study, the tiered
+// sweep, and the read/write grid.
+func (o Options) runGrid(specs []core.CampaignSpec) ([]core.GridResult, error) {
+	e := o.engine()
+	if o.RunGrid != nil {
+		return o.RunGrid(e, specs)
+	}
+	return e.Run(specs), nil
 }
 
 // paper-scale defaults.
@@ -237,7 +257,10 @@ func Fig7Cell(cell string, model core.Model, o Options) (core.CampaignResult, er
 	if err != nil {
 		return core.CampaignResult{}, err
 	}
-	grid := o.engine().Run([]core.CampaignSpec{fig7Spec(cell, w, model, o)})
+	grid, err := o.runGrid([]core.CampaignSpec{fig7Spec(cell, w, model, o)})
+	if err != nil {
+		return core.CampaignResult{}, err
+	}
 	return grid[0].Result, grid[0].Err
 }
 
@@ -258,8 +281,12 @@ func Fig7(o Options) (string, []classify.Cell, error) {
 			specs = append(specs, fig7Spec(cellName, w, model, o))
 		}
 	}
+	grid, err := o.runGrid(specs)
+	if err != nil {
+		return "", nil, err
+	}
 	var cells []classify.Cell
-	for _, r := range o.engine().Run(specs) {
+	for _, r := range grid {
 		if r.Err != nil {
 			return "", nil, fmt.Errorf("cell %s: %w", r.Spec.Key, r.Err)
 		}

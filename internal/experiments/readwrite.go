@@ -196,8 +196,12 @@ func ReadWriteGrid(o Options) (string, []classify.Cell, error) {
 			}
 		}
 	}
+	grid, err := o.runGrid(specs)
+	if err != nil {
+		return "", nil, err
+	}
 	var cells []classify.Cell
-	for _, r := range o.engine().Run(specs) {
+	for _, r := range grid {
 		if r.Err != nil {
 			return "", nil, fmt.Errorf("cell %s: %w", r.Spec.Key, r.Err)
 		}

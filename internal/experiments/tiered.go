@@ -177,8 +177,12 @@ func Tiered(cells []string, model core.Model, o Options) (string, []PlacementRes
 			})
 		}
 	}
+	grid, err := o.runGrid(specs)
+	if err != nil {
+		return "", nil, err
+	}
 	results := metas
-	for i, r := range o.engine().Run(specs) {
+	for i, r := range grid {
 		switch {
 		case errors.Is(r.Err, core.ErrNoTargets):
 			results[i].NoTargets = true

@@ -1,0 +1,182 @@
+package results
+
+import (
+	"fmt"
+
+	"ffis/internal/core"
+)
+
+// RunGrid is Engine.Run with durability: every spec streams its records
+// into the store as runs finish, specs already finalized on disk are loaded
+// instead of re-executed, partially persisted specs resume from exactly the
+// first missing run index, and a non-trivial shard executes only its slice
+// of each spec's indices. On success each spec's file is atomically
+// finalized and the returned results are reconstructed from disk — so what
+// the caller renders is provably what a later Report invocation will see.
+//
+// Campaign errors stay per-cell in GridResult.Err, exactly like Engine.Run:
+// a failed or starved cell keeps its partial file for the next resume while
+// the rest of the grid completes and finalizes. RunGrid itself returns an
+// error only for store-level failures.
+func RunGrid(e *core.Engine, st *Store, shard Shard, specs []core.CampaignSpec) ([]core.GridResult, error) {
+	if err := shard.Validate(); err != nil {
+		return nil, err
+	}
+	keys := make([]string, len(specs))
+	for i, spec := range specs {
+		keys[i] = spec.Key
+	}
+	if err := st.ensureSpecs(keys); err != nil {
+		return nil, err
+	}
+
+	unlock, err := st.lock()
+	if err != nil {
+		return nil, err
+	}
+	defer unlock()
+
+	out := make([]core.GridResult, len(specs))
+	var pending []core.CampaignSpec
+	var pendingAt []int
+	sinks := map[string]*SpecSink{}
+	// fail closes every sink opened so far before an early return, so a
+	// store-level error never leaks open partial-file handles.
+	fail := func(err error) ([]core.GridResult, error) {
+		for _, s := range sinks {
+			s.Close()
+		}
+		return nil, err
+	}
+	for i, spec := range specs {
+		if st.Finalized(spec.Key) {
+			data, ok, err := st.LoadSpec(spec.Key)
+			if err != nil {
+				return fail(err)
+			}
+			if !ok {
+				return fail(fmt.Errorf("results: spec %q finalized but unreadable", spec.Key))
+			}
+			// The finalized fast path skips the campaign entirely, so it
+			// must apply the same drift guard BeginCampaign enforces on
+			// partials: the stored header has to describe the spec being
+			// requested, or the store would silently answer a different
+			// campaign's question. (World-shape drift that only changes
+			// the profile count is the one thing a static check cannot
+			// see; everything nameable — workload, model, primitive,
+			// feature, runs, seed — is compared.)
+			if err := headerMatchesSpec(data.Header, spec); err != nil {
+				return fail(err)
+			}
+			res, err := data.CampaignResult()
+			out[i] = core.GridResult{Spec: spec, Result: res, Err: err}
+			continue
+		}
+		if sinks[spec.Key] != nil {
+			return fail(fmt.Errorf("results: duplicate spec key %q in grid", spec.Key))
+		}
+		sink, err := st.SpecSink(spec.Key, spec.Config.Runs, shard)
+		if err != nil {
+			return fail(err)
+		}
+		sinks[spec.Key] = sink
+		// The sink is the single source of truth for what still runs:
+		// records stream to it, already-persisted and out-of-shard indices
+		// are skipped, and the in-memory Records slice is dropped — the
+		// campaign tallies online and the authoritative records live on
+		// disk, bounding memory at the worker-pool width.
+		spec.Config.Sink = sink
+		spec.Config.RunFilter = sink.Include
+		spec.Config.DiscardRecords = true
+		pending = append(pending, spec)
+		pendingAt = append(pendingAt, i)
+	}
+
+	grid := e.Run(pending)
+	var firstErr error
+	for j, r := range grid {
+		sink := sinks[r.Spec.Key]
+		if r.Err != nil {
+			// Keep the partial for resume; the in-order prefix already on
+			// disk is untouched by the failure.
+			if cerr := sink.Close(); cerr != nil && firstErr == nil {
+				firstErr = cerr
+			}
+			out[pendingAt[j]] = r
+			continue
+		}
+		if err := sink.Finalize(); err != nil {
+			r.Err = err
+			if firstErr == nil {
+				firstErr = err
+			}
+			out[pendingAt[j]] = r
+			continue
+		}
+		// Reconstruct from disk: the full record set and tally, including
+		// runs persisted by earlier interrupted invocations and other
+		// already-merged state — not just the slice this process executed.
+		r.Result, r.Err = st.Result(r.Spec.Key)
+		out[pendingAt[j]] = r
+	}
+	return out, firstErr
+}
+
+// headerMatchesSpec verifies a stored header describes the spec a caller is
+// asking for: everything statically knowable about the campaign must match.
+// The profile count is copied from the stored header — it is a property of
+// the built world, observable only by re-profiling, which the fast path
+// exists to skip.
+func headerMatchesSpec(h Header, spec core.CampaignSpec) error {
+	want := newHeader(core.CampaignMeta{
+		Workload:     spec.Workload.Name,
+		Signature:    spec.Config.Fault.Signature(),
+		ProfileCount: h.ProfileCount,
+		Runs:         spec.Config.Runs,
+		Seed:         spec.Config.Seed,
+	})
+	if h != want {
+		return fmt.Errorf("results: spec %q: stored records are from a different campaign (stored %+v, requested %+v); use a fresh -out",
+			spec.Key, h, want)
+	}
+	return nil
+}
+
+// Result loads a spec's stored records and reconstructs the
+// core.CampaignResult an uninterrupted in-memory campaign would have
+// returned: signature resolved through the model registry, run records
+// rebuilt (with StoredError standing in for live error chains), and the
+// classify.Tally re-accumulated from the persisted outcomes.
+func (st *Store) Result(key string) (core.CampaignResult, error) {
+	data, ok, err := st.LoadSpec(key)
+	if err != nil {
+		return core.CampaignResult{}, err
+	}
+	if !ok {
+		return core.CampaignResult{}, fmt.Errorf("results: spec %q has no stored records", key)
+	}
+	return data.CampaignResult()
+}
+
+// CampaignResult reconstructs the in-memory campaign result from loaded
+// spec data.
+func (d SpecData) CampaignResult() (core.CampaignResult, error) {
+	sig, err := d.Header.SignatureValue()
+	if err != nil {
+		return core.CampaignResult{}, fmt.Errorf("results: spec %q: %w", d.Key, err)
+	}
+	res := core.CampaignResult{
+		Workload:     d.Header.Workload,
+		Signature:    sig,
+		ProfileCount: d.Header.ProfileCount,
+	}
+	for _, rec := range d.Records {
+		rr, err := rec.RunRecord()
+		if err != nil {
+			return core.CampaignResult{}, fmt.Errorf("results: spec %q: %w", d.Key, err)
+		}
+		res.Records = append(res.Records, rr)
+		res.Tally.Add(rr.Outcome)
+	}
+	return res, nil
+}

@@ -1,0 +1,134 @@
+package results
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Merge reassembles shard stores into one whole-grid store at dst, which
+// must not already exist. Every source must have been produced from the
+// same campaign (equal seed and runs — validated against the manifests) and
+// have finalized the specs it contributes; the merged record file
+// interleaves each shard's lines by run index, byte for byte, so merging
+// the shards of a deterministic grid reproduces exactly the file an
+// unsharded single-process run writes. Specs no source holds data for are
+// carried in the manifest but get no record file, mirroring how a live grid
+// treats starved placements.
+func Merge(dst string, srcs ...string) error {
+	if len(srcs) == 0 {
+		return fmt.Errorf("results: merge needs at least one source store")
+	}
+	stores := make([]*Store, len(srcs))
+	for i, dir := range srcs {
+		st, err := Open(dir)
+		if err != nil {
+			return err
+		}
+		stores[i] = st
+	}
+	ref := stores[0].Manifest()
+	var specs []string
+	seen := map[string]bool{}
+	for _, st := range stores {
+		man := st.Manifest()
+		if man.Seed != ref.Seed || man.Runs != ref.Runs {
+			return fmt.Errorf("results: merge: %s holds seed=%d runs=%d, %s holds seed=%d runs=%d",
+				srcs[0], ref.Seed, ref.Runs, st.Dir(), man.Seed, man.Runs)
+		}
+		for _, key := range man.Specs {
+			if !seen[key] {
+				seen[key] = true
+				specs = append(specs, key)
+			}
+		}
+	}
+
+	out, err := Create(dst, Manifest{Seed: ref.Seed, Runs: ref.Runs, Specs: specs})
+	if err != nil {
+		return err
+	}
+	for _, key := range specs {
+		if err := mergeSpec(out, stores, key); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergeSpec interleaves one spec's record lines from every contributing
+// store into dst, in strict run-index order, and finalizes the result
+// atomically.
+func mergeSpec(dst *Store, stores []*Store, key string) error {
+	type indexed struct {
+		idx  int
+		line []byte
+	}
+	var headerLine []byte
+	var lines []indexed
+	runs := 0
+	contributed := false
+	for _, st := range stores {
+		sf, ok, err := st.readSpec(key, true)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			// No finalized data here; a live partial means the shard never
+			// completed this spec, and merging it would bake in a gap.
+			if _, live, err := st.readSpec(key, false); err != nil {
+				return err
+			} else if live {
+				return fmt.Errorf("results: merge: %s holds unfinalized records for spec %q; finish or resume that shard first", st.Dir(), key)
+			}
+			continue
+		}
+		contributed = true
+		if headerLine == nil {
+			headerLine = sf.headerLine
+			runs = sf.header.Runs
+		} else if !bytes.Equal(headerLine, sf.headerLine) {
+			return fmt.Errorf("results: merge: spec %q headers disagree between stores (different profile counts or campaign parameters)", key)
+		}
+		for i, rec := range sf.records {
+			lines = append(lines, indexed{idx: rec.Index, line: sf.lines[i]})
+		}
+	}
+	if !contributed {
+		return nil
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i].idx < lines[j].idx })
+	for i := 1; i < len(lines); i++ {
+		if lines[i].idx == lines[i-1].idx {
+			return fmt.Errorf("results: merge: spec %q: run %d present in more than one source (overlapping shards?)", key, lines[i].idx)
+		}
+	}
+	// A finalized file is the durable promise that EVERY run is persisted,
+	// so the merged set must cover exactly [0, runs) — a missing shard (or
+	// a spec one shard finished and another never started) must fail loudly
+	// instead of renaming a gapped file into the completion marker.
+	if len(lines) != runs {
+		return fmt.Errorf("results: merge: spec %q covers %d of %d runs (missing shard? resume the incomplete shards first)",
+			key, len(lines), runs)
+	}
+	for i, l := range lines {
+		if l.idx != i {
+			return fmt.Errorf("results: merge: spec %q: run %d missing from every source", key, i)
+		}
+	}
+
+	var buf bytes.Buffer
+	buf.Write(headerLine)
+	for _, l := range lines {
+		buf.Write(l.line)
+	}
+	partial := dst.partialPath(key)
+	if err := os.WriteFile(partial, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("results: merge spec %q: %w", key, err)
+	}
+	if err := os.Rename(partial, dst.finalPath(key)); err != nil {
+		return fmt.Errorf("results: merge spec %q: %w", key, err)
+	}
+	return nil
+}

@@ -1,0 +1,209 @@
+package results
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"ffis/internal/classify"
+	"ffis/internal/core"
+	"ffis/internal/vfs"
+)
+
+// schemaVersion tags every header line and manifest so future layout
+// changes can be detected instead of misread.
+const schemaVersion = 1
+
+// Header is the first JSONL line of every spec record file: it identifies
+// the campaign the records belong to, making the file self-describing and
+// giving resume a determinism guard — a resumed campaign whose profile
+// count, seed, or signature differs from the persisted header cannot
+// produce records compatible with the stored ones, so the mismatch is an
+// error instead of a silently mixed file.
+type Header struct {
+	Schema       int           `json:"ffis_records"`
+	Workload     string        `json:"workload"`
+	Model        string        `json:"model"`
+	Primitive    string        `json:"primitive"`
+	Feature      FeatureRecord `json:"feature"`
+	ProfileCount int64         `json:"profile_count"`
+	Runs         int           `json:"runs"`
+	Seed         uint64        `json:"seed"`
+}
+
+// FeatureRecord is the serializable form of core.Feature.
+type FeatureRecord struct {
+	FlipBits     int `json:"flip_bits"`
+	ShornKeepNum int `json:"shorn_keep_num"`
+	ShornKeepDen int `json:"shorn_keep_den"`
+	SectorSize   int `json:"sector_size"`
+	BlockSize    int `json:"block_size"`
+}
+
+// newHeader renders campaign metadata into the persisted header form.
+func newHeader(meta core.CampaignMeta) Header {
+	sig := meta.Signature
+	return Header{
+		Schema:    schemaVersion,
+		Workload:  meta.Workload,
+		Model:     sig.Model.Name(),
+		Primitive: string(sig.Primitive),
+		Feature: FeatureRecord{
+			FlipBits:     sig.Feature.FlipBits,
+			ShornKeepNum: sig.Feature.ShornKeepNum,
+			ShornKeepDen: sig.Feature.ShornKeepDen,
+			SectorSize:   sig.Feature.SectorSize,
+			BlockSize:    sig.Feature.BlockSize,
+		},
+		ProfileCount: meta.ProfileCount,
+		Runs:         meta.Runs,
+		Seed:         meta.Seed,
+	}
+}
+
+// Signature reconstructs the fault signature the header describes,
+// resolving the model through the registry. Loading records for a model
+// this binary has never registered is an error — the tally could still be
+// rebuilt, but every downstream renderer needs the model's identity.
+func (h Header) SignatureValue() (core.Signature, error) {
+	m, ok := core.Lookup(h.Model)
+	if !ok {
+		return core.Signature{}, fmt.Errorf("results: stored records use unregistered fault model %q", h.Model)
+	}
+	return core.Signature{
+		Model:     m,
+		Primitive: vfs.Primitive(h.Primitive),
+		Feature: core.Feature{
+			FlipBits:     h.Feature.FlipBits,
+			ShornKeepNum: h.Feature.ShornKeepNum,
+			ShornKeepDen: h.Feature.ShornKeepDen,
+			SectorSize:   h.Feature.SectorSize,
+			BlockSize:    h.Feature.BlockSize,
+		},
+	}, nil
+}
+
+// Record is the serializable form of one core.RunRecord: one JSONL line of
+// a spec record file. Encoding is deterministic (fixed field order, no
+// maps, no timestamps), which is what makes resumed and sharded campaigns
+// byte-comparable to uninterrupted ones.
+type Record struct {
+	Index    int             `json:"index"`
+	Target   int64           `json:"target"`
+	Outcome  string          `json:"outcome"`
+	Fired    bool            `json:"fired,omitempty"`
+	RunErr   string          `json:"run_err,omitempty"`
+	Mutation *MutationRecord `json:"mutation,omitempty"`
+}
+
+// MutationRecord is the serializable form of core.Mutation. The model is
+// rendered by name; Rendered carries the model's own human-readable line so
+// the record stays legible even to tools without the model registered.
+type MutationRecord struct {
+	Model      string `json:"model"`
+	Path       string `json:"path,omitempty"`
+	Offset     int64  `json:"offset"`
+	Length     int    `json:"length,omitempty"`
+	BitPos     int    `json:"bit_pos"`
+	Kept       int    `json:"kept,omitempty"`
+	Dropped    bool   `json:"dropped,omitempty"`
+	Sectors    int    `json:"sectors,omitempty"`
+	NewSize    int64  `json:"new_size,omitempty"`
+	Unreadable bool   `json:"unreadable,omitempty"`
+	Latent     bool   `json:"latent,omitempty"`
+	Detail     string `json:"detail,omitempty"`
+	Rendered   string `json:"rendered,omitempty"`
+}
+
+// newRecord renders a finished run into its persisted form. The run error
+// and the mutation's model are flattened to strings: error chains and model
+// instances do not survive serialization, only their identities do.
+func newRecord(rec core.RunRecord) Record {
+	out := Record{
+		Index:   rec.Index,
+		Target:  rec.Target,
+		Outcome: rec.Outcome.String(),
+		Fired:   rec.Fired,
+	}
+	if rec.RunErr != nil {
+		out.RunErr = rec.RunErr.Error()
+	}
+	if rec.Fired {
+		m := rec.Mutation
+		mr := &MutationRecord{
+			Path:       m.Path,
+			Offset:     m.Offset,
+			Length:     m.Length,
+			BitPos:     m.BitPos,
+			Kept:       m.Kept,
+			Dropped:    m.Dropped,
+			Sectors:    m.Sectors,
+			NewSize:    m.NewSize,
+			Unreadable: m.Unreadable,
+			Latent:     m.Latent,
+			Detail:     m.Detail,
+		}
+		if m.Model != nil {
+			mr.Model = m.Model.Name()
+			mr.Rendered = m.String()
+		}
+		out.Mutation = mr
+	}
+	return out
+}
+
+// marshalLine renders a record as its canonical JSONL line (newline
+// included). encoding/json emits struct fields in declaration order, so the
+// bytes are a pure function of the record.
+func marshalLine(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// StoredError is the reconstituted form of a persisted run error: only the
+// rendering of the original error survives serialization, not its chain, so
+// errors.Is against application sentinels does not work on loaded records.
+type StoredError struct{ Msg string }
+
+func (e StoredError) Error() string { return e.Msg }
+
+// RunRecord reconstructs the in-memory form of a loaded record. Mutation
+// model lookup is best-effort: records from an unregistered model keep
+// their flat fields with a nil Model.
+func (r Record) RunRecord() (core.RunRecord, error) {
+	outcome, err := classify.ParseOutcome(r.Outcome)
+	if err != nil {
+		return core.RunRecord{}, fmt.Errorf("results: record %d: %w", r.Index, err)
+	}
+	out := core.RunRecord{
+		Index:   r.Index,
+		Target:  r.Target,
+		Outcome: outcome,
+		Fired:   r.Fired,
+	}
+	if r.RunErr != "" {
+		out.RunErr = StoredError{Msg: r.RunErr}
+	}
+	if r.Mutation != nil {
+		m := r.Mutation
+		out.Mutation = core.Mutation{
+			Path:       m.Path,
+			Offset:     m.Offset,
+			Length:     m.Length,
+			BitPos:     m.BitPos,
+			Kept:       m.Kept,
+			Dropped:    m.Dropped,
+			Sectors:    m.Sectors,
+			NewSize:    m.NewSize,
+			Unreadable: m.Unreadable,
+			Latent:     m.Latent,
+			Detail:     m.Detail,
+		}
+		if model, ok := core.Lookup(m.Model); ok {
+			out.Mutation.Model = model
+		}
+	}
+	return out, nil
+}

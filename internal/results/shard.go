@@ -1,0 +1,68 @@
+package results
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Shard names one slice of a campaign's run indices: shard i of n owns
+// every index with index % n == i. Because each run's RNG stream derives
+// purely from (seed, index), a shard's records are bit-identical to the
+// same indices of an unsharded run — n processes (or machines) can each
+// take one shard into its own store and Merge reassembles the exact file a
+// single process would have written. The zero value owns every index.
+type Shard struct {
+	Index int
+	Count int
+}
+
+// ParseShard parses the CLI "-shard i/n" syntax; the empty string is the
+// whole-grid zero value.
+func ParseShard(s string) (Shard, error) {
+	if s == "" {
+		return Shard{}, nil
+	}
+	idx, cnt, ok := strings.Cut(s, "/")
+	if !ok {
+		return Shard{}, fmt.Errorf("results: bad shard %q (want i/n, e.g. 0/4)", s)
+	}
+	i, err1 := strconv.Atoi(idx)
+	n, err2 := strconv.Atoi(cnt)
+	if err1 != nil || err2 != nil {
+		return Shard{}, fmt.Errorf("results: bad shard %q (want i/n, e.g. 0/4)", s)
+	}
+	sh := Shard{Index: i, Count: n}
+	if err := sh.Validate(); err != nil {
+		return Shard{}, err
+	}
+	return sh, nil
+}
+
+// Validate rejects impossible shard assignments.
+func (s Shard) Validate() error {
+	if s == (Shard{}) {
+		return nil
+	}
+	if s.Count < 1 || s.Index < 0 || s.Index >= s.Count {
+		return fmt.Errorf("results: bad shard %d/%d (want 0 <= i < n)", s.Index, s.Count)
+	}
+	return nil
+}
+
+// Owns reports whether this shard executes run index idx.
+func (s Shard) Owns(idx int) bool {
+	if s.Count <= 1 {
+		return true
+	}
+	return idx%s.Count == s.Index
+}
+
+// String renders the shard in the "i/n" CLI and manifest form, "" for the
+// whole grid.
+func (s Shard) String() string {
+	if s.Count <= 1 {
+		return ""
+	}
+	return fmt.Sprintf("%d/%d", s.Index, s.Count)
+}

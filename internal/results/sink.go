@@ -1,0 +1,212 @@
+package results
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+
+	"ffis/internal/core"
+)
+
+// SpecSink streams one campaign's run records into the store. It implements
+// core.RecordSink: the engine hands it records in completion order and the
+// sink reorders them into strict run-index order before appending, so the
+// on-disk file is always a valid in-order prefix — the invariant resume
+// relies on. The reorder buffer holds only runs that finished ahead of a
+// still-executing predecessor, which the engine's bounded worker pool caps
+// at roughly the pool width.
+//
+// Lifecycle: the sink opens (and crash-recovers) the spec's partial file at
+// creation; BeginCampaign writes or re-validates the header; Record appends
+// runs; Finalize atomically renames the partial into its final form on
+// campaign success; Close abandons an in-flight stream, keeping the partial
+// on disk for a later resume.
+type SpecSink struct {
+	store *Store
+	key   string
+	runs  int
+	shard Shard
+
+	f         *os.File
+	header    *Header      // recovered from an existing partial, nil when fresh
+	persisted map[int]bool // run indices already on disk from a prior process
+	next      int          // lowest run index not yet skipped or written
+	pending   map[int][]byte
+	err       error
+}
+
+// SpecSink opens a record stream for one spec: runs is the campaign's run
+// count, shard the slice of run indices this process owns. An existing
+// partial file is recovered — its torn tail (if any) truncated away, its
+// persisted indices marked so Include skips them — making the sink equally
+// the fresh-start and the resume entry point. A finalized spec refuses a
+// sink: it has nothing left to run.
+func (st *Store) SpecSink(key string, runs int, shard Shard) (*SpecSink, error) {
+	if st.Finalized(key) {
+		return nil, fmt.Errorf("results: spec %q already finalized", key)
+	}
+	if err := shard.Validate(); err != nil {
+		return nil, err
+	}
+	s := &SpecSink{
+		store:     st,
+		key:       key,
+		runs:      runs,
+		shard:     shard,
+		persisted: map[int]bool{},
+		pending:   map[int][]byte{},
+	}
+	sf, ok, err := st.readSpec(key, false)
+	if err != nil {
+		return nil, err
+	}
+	path := st.partialPath(key)
+	if ok {
+		// Crash recovery: drop the torn tail so the file ends on a record
+		// boundary, then append after it.
+		if err := os.Truncate(path, sf.validLen); err != nil {
+			return nil, fmt.Errorf("results: recover %s: %w", path, err)
+		}
+		if sf.headerLine != nil {
+			h := sf.header
+			s.header = &h
+		}
+		// The persisted records must be exactly the leading prefix of this
+		// shard's index sequence: resuming under a different shard than the
+		// store was written with would append the new indices after the old
+		// ones out of order, silently breaking the byte-identity contract.
+		k := 0
+		for idx := 0; idx < runs && k < len(sf.records); idx++ {
+			if !shard.Owns(idx) {
+				if sf.records[k].Index == idx {
+					return nil, fmt.Errorf("results: spec %q holds record %d, which shard %s does not own (was the store written under a different -shard?)",
+						key, idx, shard)
+				}
+				continue
+			}
+			if sf.records[k].Index != idx {
+				return nil, fmt.Errorf("results: spec %q records are not a resumable prefix of shard %s (stored %d where index %d is next); was the store written under a different -shard?",
+					key, shard, sf.records[k].Index, idx)
+			}
+			s.persisted[idx] = true
+			k++
+		}
+		if k < len(sf.records) {
+			return nil, fmt.Errorf("results: spec %q holds record %d beyond the campaign's %d runs",
+				key, sf.records[k].Index, runs)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("results: open %s: %w", path, err)
+	}
+	s.f = f
+	return s, nil
+}
+
+// Include reports whether run idx still needs to execute in this process:
+// it is the CampaignConfig.RunFilter pairing of the sink, false for indices
+// another shard owns and for indices already persisted by a prior run.
+func (s *SpecSink) Include(idx int) bool {
+	return s.shard.Owns(idx) && !s.persisted[idx]
+}
+
+// Persisted returns how many of this spec's runs are already on disk.
+func (s *SpecSink) Persisted() int { return len(s.persisted) }
+
+// BeginCampaign implements core.RecordSink. On a fresh stream it writes the
+// header line; on a resumed one it validates that the campaign about to run
+// is the campaign the stored records came from — any drift (profile count,
+// seed, model, run count) means the deterministic (seed, index) → record
+// mapping no longer holds and the resume must abort before mixing records.
+func (s *SpecSink) BeginCampaign(meta core.CampaignMeta) error {
+	h := newHeader(meta)
+	if s.header != nil {
+		if !reflect.DeepEqual(*s.header, h) {
+			return fmt.Errorf("results: spec %q: stored header %+v does not match resumed campaign %+v", s.key, *s.header, h)
+		}
+		return nil
+	}
+	line, err := marshalLine(h)
+	if err != nil {
+		return err
+	}
+	if _, err := s.f.Write(line); err != nil {
+		return fmt.Errorf("results: spec %q: write header: %w", s.key, err)
+	}
+	s.header = &h
+	return nil
+}
+
+// Record implements core.RecordSink: it buffers the record and flushes the
+// longest contiguous in-order run of owned indices to disk. Each line is
+// written with its trailing newline in one call, so a kill between records
+// never tears the file mid-line (a kill during a write can, which recovery
+// handles).
+func (s *SpecSink) Record(rec core.RunRecord) error {
+	if s.err != nil {
+		return s.err
+	}
+	line, err := marshalLine(newRecord(rec))
+	if err != nil {
+		s.err = err
+		return err
+	}
+	s.pending[rec.Index] = line
+	for s.next < s.runs {
+		if !s.Include(s.next) {
+			s.next++
+			continue
+		}
+		line, ok := s.pending[s.next]
+		if !ok {
+			break
+		}
+		if _, err := s.f.Write(line); err != nil {
+			s.err = fmt.Errorf("results: spec %q: append record %d: %w", s.key, s.next, err)
+			return s.err
+		}
+		delete(s.pending, s.next)
+		s.next++
+	}
+	return nil
+}
+
+// Finalize marks the spec complete: the partial file is synced and
+// atomically renamed to its final name, the durable signal that every one
+// of the spec's runs is persisted. Pending (out-of-order) records at this
+// point mean a predecessor run never delivered — the campaign did not
+// actually complete — and finalizing would persist a gap, so it refuses.
+func (s *SpecSink) Finalize() error {
+	if s.err != nil {
+		return s.err
+	}
+	if len(s.pending) > 0 {
+		return fmt.Errorf("results: spec %q: %d records still waiting on unfinished predecessors; not finalizing", s.key, len(s.pending))
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("results: spec %q: sync: %w", s.key, err)
+	}
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("results: spec %q: close: %w", s.key, err)
+	}
+	s.f = nil
+	if err := os.Rename(s.store.partialPath(s.key), s.store.finalPath(s.key)); err != nil {
+		return fmt.Errorf("results: finalize spec %q: %w", s.key, err)
+	}
+	return nil
+}
+
+// Close abandons the stream without finalizing: the partial file stays on
+// disk holding its in-order prefix, ready for a later resume. Safe to call
+// after Finalize.
+func (s *SpecSink) Close() error {
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}
+
+var _ core.RecordSink = (*SpecSink)(nil)

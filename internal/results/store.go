@@ -1,0 +1,343 @@
+// Package results is the durable half of the campaign engine: a streaming
+// JSONL store for fault-injection run records, the resume/shard logic that
+// lets one logical grid be interrupted, split across processes, and merged
+// back bit-identically, and the report generator that re-renders stored
+// results into the paper's table layouts after the fact.
+//
+// On disk a store is one directory:
+//
+//	out/
+//	  manifest.json              campaign-level metadata (seed, runs, shard, spec keys)
+//	  records/
+//	    <key>.jsonl              finalized spec: header line + one record line per run
+//	    <key>.jsonl.partial      in-flight spec: same layout, atomically renamed on finalize
+//
+// Every line is a self-contained JSON document. The first line of each
+// record file is a Header identifying the campaign (workload, model,
+// profile count, seed); each following line is one Record in run-index
+// order. Records are appended strictly in index order — out-of-order
+// completions from a parallel worker pool are buffered in memory by
+// SpecSink until their predecessors land — so the persisted set is always a
+// prefix of the executed index sequence and a killed process leaves a file
+// that is a valid prefix (possibly plus one torn final line, which recovery
+// truncates). Nothing in a record file depends on wall-clock time, map
+// iteration, or worker interleaving: a resumed or sharded campaign
+// reproduces the uninterrupted file byte for byte.
+package results
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+const (
+	manifestName = "manifest.json"
+	recordsDir   = "records"
+	finalExt     = ".jsonl"
+	partialExt   = ".jsonl.partial"
+)
+
+// Manifest is the campaign-level metadata of a store, persisted as
+// manifest.json. Seed and Runs pin the grid parameters every spec ran
+// under; Shard records which slice of the run indices this store holds
+// ("" = the whole grid); Specs lists the spec keys in submission order,
+// which is also report order.
+type Manifest struct {
+	Schema int      `json:"ffis_store"`
+	Seed   uint64   `json:"seed"`
+	Runs   int      `json:"runs"`
+	Shard  string   `json:"shard,omitempty"`
+	Specs  []string `json:"specs,omitempty"`
+}
+
+// Store is an open results directory. All methods are safe for concurrent
+// use; per-spec record streams are serialized by the campaign engine
+// already (core.RecordSink delivery never overlaps).
+type Store struct {
+	dir string
+
+	mu  sync.Mutex
+	man Manifest
+}
+
+// Dir returns the store's directory.
+func (st *Store) Dir() string { return st.dir }
+
+// Manifest returns a copy of the store's manifest.
+func (st *Store) Manifest() Manifest {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	man := st.man
+	man.Specs = append([]string(nil), st.man.Specs...)
+	return man
+}
+
+// Create initializes a new store at dir. It refuses to reuse a directory
+// that already holds a store — resuming must be an explicit choice (Open),
+// not an accident that silently mixes two campaigns' records.
+func Create(dir string, man Manifest) (*Store, error) {
+	if _, err := os.Stat(filepath.Join(dir, manifestName)); err == nil {
+		return nil, fmt.Errorf("results: %s already holds a results store (use resume to continue it)", dir)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, recordsDir), 0o755); err != nil {
+		return nil, fmt.Errorf("results: create store: %w", err)
+	}
+	man.Schema = schemaVersion
+	st := &Store{dir: dir, man: man}
+	if err := st.writeManifest(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// Open loads an existing store at dir.
+func Open(dir string) (*Store, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("results: open store: %w", err)
+	}
+	var man Manifest
+	if err := json.Unmarshal(raw, &man); err != nil {
+		return nil, fmt.Errorf("results: %s: corrupt manifest: %w", dir, err)
+	}
+	if man.Schema != schemaVersion {
+		return nil, fmt.Errorf("results: %s: store schema %d, this binary speaks %d", dir, man.Schema, schemaVersion)
+	}
+	return &Store{dir: dir, man: man}, nil
+}
+
+// CreateOrResume is the CLI entry point: it creates a fresh store, or — when
+// resume is set — opens the existing one and validates that the campaign
+// parameters match, since records produced under a different seed, run
+// count, or shard assignment can never extend the stored ones.
+func CreateOrResume(dir string, resume bool, man Manifest) (*Store, error) {
+	if !resume {
+		return Create(dir, man)
+	}
+	st, err := Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	if st.man.Seed != man.Seed || st.man.Runs != man.Runs || st.man.Shard != man.Shard {
+		return nil, fmt.Errorf(
+			"results: resume mismatch: store %s holds seed=%d runs=%d shard=%q, this invocation wants seed=%d runs=%d shard=%q",
+			dir, st.man.Seed, st.man.Runs, st.man.Shard, man.Seed, man.Runs, man.Shard)
+	}
+	return st, nil
+}
+
+// writeManifest persists the manifest atomically (write-then-rename), so a
+// kill mid-update leaves either the old or the new manifest, never a torn
+// one. Caller holds st.mu or has exclusive access.
+func (st *Store) writeManifest() error {
+	b, err := json.MarshalIndent(st.man, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	tmp := filepath.Join(st.dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return fmt.Errorf("results: write manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(st.dir, manifestName)); err != nil {
+		return fmt.Errorf("results: write manifest: %w", err)
+	}
+	return nil
+}
+
+// ensureSpecs registers spec keys in the manifest (preserving first-seen
+// order), rewriting it if anything new appeared. Grids that run several
+// sweeps into one store (-all) accumulate their spec lists here.
+func (st *Store) ensureSpecs(keys []string) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	have := make(map[string]bool, len(st.man.Specs))
+	for _, k := range st.man.Specs {
+		have[k] = true
+	}
+	added := false
+	for _, k := range keys {
+		if !have[k] {
+			st.man.Specs = append(st.man.Specs, k)
+			have[k] = true
+			added = true
+		}
+	}
+	if !added {
+		return nil
+	}
+	return st.writeManifest()
+}
+
+// encodeKey renders a spec key ("nyx/BF", "MT2.tiered/SW") as a collision-
+// free file name: letters, digits, dot, underscore, and dash pass through;
+// every other byte becomes %XX. The encoding is injective, so two distinct
+// spec keys can never share a record file.
+func encodeKey(key string) string {
+	var b strings.Builder
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+			b.WriteByte(c)
+		default:
+			fmt.Fprintf(&b, "%%%02X", c)
+		}
+	}
+	return b.String()
+}
+
+func (st *Store) finalPath(key string) string {
+	return filepath.Join(st.dir, recordsDir, encodeKey(key)+finalExt)
+}
+
+func (st *Store) partialPath(key string) string {
+	return filepath.Join(st.dir, recordsDir, encodeKey(key)+partialExt)
+}
+
+// Finalized reports whether the spec's record file has been atomically
+// renamed into its final form — the marker that every one of its runs is
+// persisted and the spec need not execute again on resume.
+func (st *Store) Finalized(key string) bool {
+	_, err := os.Stat(st.finalPath(key))
+	return err == nil
+}
+
+// specFile is a parsed record file: the raw header line and record lines
+// (for byte-exact merging) plus their decoded forms.
+type specFile struct {
+	headerLine []byte
+	header     Header
+	lines      [][]byte
+	records    []Record
+	// validLen is the byte length of the well-formed prefix; anything
+	// beyond it is a torn tail from a killed writer.
+	validLen int64
+}
+
+// parseSpecFile decodes a record file, tolerating exactly one torn tail: a
+// final chunk that is incomplete (no newline) or fails to decode is treated
+// as the debris of a kill and excluded from validLen. Malformed lines with
+// well-formed successors are corruption and fail the parse.
+func parseSpecFile(raw []byte) (*specFile, error) {
+	sf := &specFile{}
+	off := int64(0)
+	lineNo := 0
+	for len(raw) > 0 {
+		nl := bytes.IndexByte(raw, '\n')
+		if nl < 0 {
+			break // torn tail: no newline
+		}
+		line := raw[:nl+1]
+		var decodeErr error
+		if lineNo == 0 {
+			decodeErr = json.Unmarshal(line, &sf.header)
+			if decodeErr == nil && sf.header.Schema != schemaVersion {
+				return nil, fmt.Errorf("results: record file schema %d, this binary speaks %d", sf.header.Schema, schemaVersion)
+			}
+		} else {
+			var rec Record
+			decodeErr = json.Unmarshal(line, &rec)
+			if decodeErr == nil {
+				if n := len(sf.records); n > 0 && rec.Index <= sf.records[n-1].Index {
+					return nil, fmt.Errorf("results: record file out of order: index %d after %d",
+						rec.Index, sf.records[n-1].Index)
+				}
+				sf.records = append(sf.records, rec)
+				sf.lines = append(sf.lines, append([]byte(nil), line...))
+			}
+		}
+		if decodeErr != nil {
+			if bytes.IndexByte(raw[nl+1:], '\n') >= 0 {
+				return nil, fmt.Errorf("results: corrupt record line %d: %w", lineNo, decodeErr)
+			}
+			break // torn tail: last complete-looking line is garbage
+		}
+		if lineNo == 0 {
+			sf.headerLine = append([]byte(nil), line...)
+		}
+		off += int64(len(line))
+		raw = raw[nl+1:]
+		lineNo++
+	}
+	sf.validLen = off
+	return sf, nil
+}
+
+// readSpec loads and parses the spec's record file. final selects which
+// form to read; ok is false when the file does not exist.
+func (st *Store) readSpec(key string, final bool) (sf *specFile, ok bool, err error) {
+	p := st.partialPath(key)
+	if final {
+		p = st.finalPath(key)
+	}
+	raw, err := os.ReadFile(p)
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("results: read %s: %w", p, err)
+	}
+	sf, err = parseSpecFile(raw)
+	if err != nil {
+		return nil, false, fmt.Errorf("results: %s: %w", p, err)
+	}
+	return sf, true, nil
+}
+
+// SpecData is the loaded content of one spec's record stream.
+type SpecData struct {
+	Key     string
+	Header  Header
+	Records []Record
+	// Final reports whether the stream was finalized (every run persisted)
+	// or read from an in-flight partial file.
+	Final bool
+}
+
+// LoadSpec reads a spec's records, preferring the finalized file and
+// falling back to the partial one. ok is false when the spec has no stored
+// header yet (no file, or a file whose torn tail swallowed the header).
+func (st *Store) LoadSpec(key string) (data SpecData, ok bool, err error) {
+	final := true
+	sf, ok, err := st.readSpec(key, true)
+	if err != nil {
+		return SpecData{}, false, err
+	}
+	if !ok {
+		final = false
+		sf, ok, err = st.readSpec(key, false)
+		if err != nil || !ok {
+			return SpecData{}, false, err
+		}
+	}
+	if sf.headerLine == nil {
+		return SpecData{}, false, nil
+	}
+	return SpecData{Key: key, Header: sf.header, Records: sf.records, Final: final}, true, nil
+}
+
+// Load reads every spec registered in the manifest, in manifest order,
+// skipping specs with no stored data (e.g. starved placements that never
+// began). Skipped keys are returned so reports can say what is missing
+// instead of silently narrowing the table.
+func (st *Store) Load() (data []SpecData, skipped []string, err error) {
+	for _, key := range st.Manifest().Specs {
+		d, ok, err := st.LoadSpec(key)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			skipped = append(skipped, key)
+			continue
+		}
+		data = append(data, d)
+	}
+	return data, skipped, nil
+}
