@@ -1,0 +1,202 @@
+// Command benchgrid appends one data point to the repository's performance
+// trajectory file (BENCH_grid.json at the repo root). Each point records,
+// for a reduced-scale configuration:
+//
+//   - wall-clock time of the Figure 7 grid on the campaign engine vs the
+//     pre-engine sequential path (the headline engine speedup);
+//   - wall-clock time of one MT4 campaign under COW world clones vs
+//     rebuilt-per-run worlds (the world-lifecycle speedup);
+//   - the runs an adaptive MT2 campaign saves against its fixed budget
+//     (budget − executed runs at the target Wilson half-width).
+//
+// CI's bench-smoke job runs it on every push and uploads the refreshed
+// file as a build artifact; committed points form the long-term trajectory
+// reviewers diff against. The file is an append-only JSON array — existing
+// points are preserved byte-for-byte (modulo re-indentation), so a point
+// written by an older schema survives newer tools.
+//
+// Usage:
+//
+//	benchgrid                      # append a point to ./BENCH_grid.json
+//	benchgrid -out ./BENCH.json -runs 48
+//	benchgrid -dry-run             # print the point, write nothing
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"ffis/internal/core"
+	"ffis/internal/experiments"
+	"ffis/internal/stats"
+)
+
+// point is one trajectory sample. Times are integer milliseconds: coarse
+// enough to be honest about run-to-run noise, fine enough to see a 2×
+// regression.
+type point struct {
+	Date string `json:"date"` // UTC, RFC 3339
+	Go   string `json:"go"`   // toolchain that produced the point
+	Note string `json:"note,omitempty"`
+
+	// Reduced-scale grid configuration the times were measured at.
+	Runs int    `json:"runs"`
+	Seed uint64 `json:"seed"`
+	NyxN int    `json:"nyx_n"`
+
+	Fig7EngineMS     int64 `json:"fig7_grid_engine_ms"`
+	Fig7SequentialMS int64 `json:"fig7_grid_sequential_ms"`
+	MT4CowMS         int64 `json:"mt4_campaign_cow_ms"`
+	MT4FreshMS       int64 `json:"mt4_campaign_fresh_ms"`
+
+	Adaptive adaptivePoint `json:"adaptive"`
+}
+
+// adaptivePoint records the runs-saved-by-adaptive counter: one cell run
+// under a sequential stopping rule, compared against its fixed budget.
+type adaptivePoint struct {
+	Cell            string  `json:"cell"`
+	Model           string  `json:"model"`
+	TargetHalfWidth float64 `json:"target_half_width"`
+	Budget          int     `json:"budget"`
+	RunsSpent       int     `json:"runs_spent"`
+	RunsSaved       int     `json:"runs_saved"`
+}
+
+func main() {
+	var (
+		out    = flag.String("out", "BENCH_grid.json", "trajectory file to append to")
+		runs   = flag.Int("runs", 24, "runs per grid cell for the timing measurements")
+		seed   = flag.Uint64("seed", 2021, "campaign seed")
+		nyxN   = flag.Int("nyx-n", 24, "Nyx grid edge for the timing measurements")
+		target = flag.Float64("adaptive", 0.02, "target Wilson half-width for the runs-saved measurement")
+		budget = flag.Int("budget", 1000, "fixed run budget the adaptive campaign is measured against")
+		note   = flag.String("note", "", "free-form annotation stored with the point")
+		dry    = flag.Bool("dry-run", false, "print the measured point without touching -out")
+	)
+	flag.Parse()
+
+	die := func(err error) {
+		fmt.Fprintf(os.Stderr, "benchgrid: %v\n", err)
+		os.Exit(1)
+	}
+
+	p, err := measure(*runs, *seed, *nyxN, *target, *budget)
+	if err != nil {
+		die(err)
+	}
+	p.Date = time.Now().UTC().Format(time.RFC3339)
+	p.Go = runtime.Version()
+	p.Note = *note
+
+	enc, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		die(err)
+	}
+	fmt.Printf("%s\n", enc)
+	if *dry {
+		return
+	}
+	if err := appendPoint(*out, p); err != nil {
+		die(err)
+	}
+	fmt.Printf("appended to %s\n", *out)
+}
+
+// measure runs the reduced grid and campaign configurations and times them.
+// Grid times use a single-threaded pool (Jobs: 1) so the engine-vs-
+// sequential ratio reflects the COW/memoization win, not core count; the
+// adaptive measurement is run-count arithmetic, so it uses the default pool.
+func measure(runs int, seed uint64, nyxN int, target float64, budget int) (point, error) {
+	o := experiments.Options{Runs: runs, Seed: seed, NyxN: nyxN, Jobs: 1}
+	p := point{Runs: runs, Seed: seed, NyxN: nyxN}
+
+	t0 := time.Now()
+	if _, _, err := experiments.Fig7(o); err != nil {
+		return p, fmt.Errorf("fig7 engine: %w", err)
+	}
+	p.Fig7EngineMS = time.Since(t0).Milliseconds()
+
+	t0 = time.Now()
+	if _, _, err := experiments.Fig7Sequential(o); err != nil {
+		return p, fmt.Errorf("fig7 sequential: %w", err)
+	}
+	p.Fig7SequentialMS = time.Since(t0).Milliseconds()
+
+	w, err := experiments.NewWorkload("MT4", o)
+	if err != nil {
+		return p, fmt.Errorf("MT4 workload: %w", err)
+	}
+	for _, fresh := range []bool{false, true} {
+		t0 = time.Now()
+		if _, err := core.Campaign(core.CampaignConfig{
+			Fault:       core.Config{Model: core.BitFlip},
+			Runs:        runs,
+			Seed:        seed,
+			FreshWorlds: fresh,
+		}, w); err != nil {
+			return p, fmt.Errorf("MT4 campaign (fresh=%v): %w", fresh, err)
+		}
+		if fresh {
+			p.MT4FreshMS = time.Since(t0).Milliseconds()
+		} else {
+			p.MT4CowMS = time.Since(t0).Milliseconds()
+		}
+	}
+
+	// The runs-saved counter, on the acceptance-criterion cell: MT2 under
+	// unreadable-sector converges at the first barrier, so the saving is
+	// large and stable; balanced write-model cells would report zero saved
+	// at this target (they honestly need more than the budget for ±2%).
+	model := core.MustModel("unreadable-sector")
+	res, err := experiments.Fig7Cell("MT2", model, experiments.Options{
+		Runs: budget, Seed: seed,
+		Stop: &stats.StopRule{TargetHalfWidth: target},
+	})
+	if err != nil {
+		return p, fmt.Errorf("adaptive MT2 cell: %w", err)
+	}
+	spent := res.Tally.Total()
+	p.Adaptive = adaptivePoint{
+		Cell:            "MT2",
+		Model:           model.Name(),
+		TargetHalfWidth: target,
+		Budget:          budget,
+		RunsSpent:       spent,
+		RunsSaved:       budget - spent,
+	}
+	return p, nil
+}
+
+// appendPoint appends p to the JSON array at path, creating the file if
+// absent. Prior points pass through as raw JSON so points written under an
+// older schema are preserved rather than re-parsed and stripped.
+func appendPoint(path string, p point) error {
+	var prior []json.RawMessage
+	raw, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(raw, &prior); err != nil {
+			return fmt.Errorf("benchgrid: %s is not a JSON array of points: %w", path, err)
+		}
+	case os.IsNotExist(err):
+		// first point: start a fresh array
+	default:
+		return err
+	}
+	enc, err := json.Marshal(p)
+	if err != nil {
+		return err
+	}
+	prior = append(prior, enc)
+
+	out, err := json.MarshalIndent(prior, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestAppendPointGrowsArray: appending into a missing file starts a fresh
+// one-element array; appending again grows it to two with the first point
+// intact.
+func TestAppendPointGrowsArray(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_grid.json")
+	first := point{Date: "2026-01-01T00:00:00Z", Go: "go1.24", Runs: 24, Seed: 2021,
+		Adaptive: adaptivePoint{Cell: "MT2", Budget: 1000, RunsSpent: 100, RunsSaved: 900}}
+	if err := appendPoint(path, first); err != nil {
+		t.Fatal(err)
+	}
+	second := first
+	second.Date = "2026-02-01T00:00:00Z"
+	second.Fig7EngineMS = 1234
+	if err := appendPoint(path, second); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pts []point
+	if err := json.Unmarshal(raw, &pts); err != nil {
+		t.Fatalf("trajectory is not a point array: %v", err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	if pts[0] != first || pts[1] != second {
+		t.Fatalf("points round-tripped wrong:\n  got  %+v\n       %+v\n  want %+v\n       %+v",
+			pts[0], pts[1], first, second)
+	}
+	if pts[0].Adaptive.RunsSaved != 900 {
+		t.Fatalf("runs_saved = %d, want 900", pts[0].Adaptive.RunsSaved)
+	}
+}
+
+// TestAppendPointPreservesUnknownFields: a point written by a newer (or
+// older) schema must survive an append untouched apart from re-indentation
+// — the trajectory is append-only history, not a normalized table.
+func TestAppendPointPreservesUnknownFields(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_grid.json")
+	legacy := `[{"date":"2025-12-01T00:00:00Z","exotic_future_metric_ms":42}]`
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendPoint(path, point{Date: "2026-01-01T00:00:00Z"}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pts []map[string]any
+	if err := json.Unmarshal(raw, &pts); err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	if v, ok := pts[0]["exotic_future_metric_ms"]; !ok || v != float64(42) {
+		t.Fatalf("unknown field dropped or mangled: %v", pts[0])
+	}
+}
+
+// TestAppendPointRejectsNonArray: a corrupt trajectory file must fail the
+// append loudly instead of being overwritten.
+func TestAppendPointRejectsNonArray(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_grid.json")
+	if err := os.WriteFile(path, []byte(`{"not":"an array"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendPoint(path, point{}); err == nil {
+		t.Fatal("appendPoint accepted a non-array file")
+	}
+	raw, _ := os.ReadFile(path)
+	if string(raw) != `{"not":"an array"}` {
+		t.Fatalf("corrupt file was modified: %s", raw)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"ffis/internal/core"
 	"ffis/internal/experiments"
 	"ffis/internal/results"
+	"ffis/internal/stats"
 )
 
 // stringList is a repeatable string flag.
@@ -70,6 +71,8 @@ func main() {
 		model    = flag.String("model", "", "restrict the -tiered sweep to one fault model (name, short code, or alias; default: the Table I write family)")
 		listOnly = flag.Bool("list-models", false, "print the fault-model registry table and exit")
 		outdir   = flag.String("outdir", "", "directory for image artifacts (Figures 5 and 9)")
+		adaptive = flag.Float64("adaptive", 0, "adaptive stopping: each cell halts when every outcome rate's Wilson 95% half-width is under this target (-runs becomes the budget cap; 0 = fixed budget)")
+		showCI   = flag.Bool("ci", false, "render campaign tables as rate ±halfwidth (Wilson 95%) columns")
 		storeDir = flag.String("out", "", "stream grid run records to a JSONL results store at this directory")
 		resume   = flag.Bool("resume", false, "resume the interrupted store at -out, skipping persisted work")
 		shardStr = flag.String("shard", "", "execute only shard i/n of every cell's run indices (requires -out)")
@@ -92,9 +95,19 @@ func main() {
 		NyxN:           *nyxN,
 		MetaStride:     *stride,
 		UseAvgDetector: *useAvg,
+		CI:             *showCI,
 	}
 	if *progress {
 		o.Progress = experiments.ProgressPrinter(os.Stderr)
+	}
+	if *adaptive > 0 {
+		if *shardStr != "" {
+			// A shard owns every n-th run index, never a complete prefix, so
+			// an adaptive rule cannot evaluate its barriers on one.
+			fmt.Fprintln(os.Stderr, "experiments: -adaptive cannot run under -shard (a shard never holds a complete run prefix); drop one of them")
+			os.Exit(2)
+		}
+		o.Stop = &stats.StopRule{TargetHalfWidth: *adaptive}
 	}
 
 	die := func(err error) {

@@ -48,6 +48,7 @@ import (
 	"ffis/internal/core"
 	"ffis/internal/experiments"
 	"ffis/internal/results"
+	"ffis/internal/stats"
 	"ffis/internal/trace"
 	"ffis/internal/vfs"
 )
@@ -77,6 +78,9 @@ func main() {
 		asCSV     = flag.Bool("csv", false, "emit CSV instead of a table")
 		asJSON    = flag.Bool("json", false, "emit the machine-readable JSON result")
 		showTrace = flag.Bool("trace", false, "print the workload's fault-free I/O pattern profile first")
+		adaptive  = flag.Float64("adaptive", 0, "adaptive stopping: halt when every outcome rate's Wilson 95% half-width is under this target (-runs becomes the budget cap; 0 = fixed budget)")
+		showCI    = flag.Bool("ci", false, "render outcome columns as rate ±halfwidth (Wilson 95%)")
+		shots     = flag.Int("shots", 0, "override the fault model's shot budget (0 = model default; >1 only affects multi-shot models)")
 	)
 	var (
 		outDir    = flag.String("out", "", "stream run records to a JSONL results store at this directory")
@@ -155,6 +159,17 @@ func main() {
 		UseAvgDetector: *useAvg,
 		Mounts:         mounts,
 		ArmMounts:      armMounts,
+		Shots:          *shots,
+		CI:             *showCI,
+	}
+	if *adaptive > 0 {
+		if *shardSpec != "" {
+			// A shard owns every n-th run index, never a complete prefix, so
+			// an adaptive rule cannot evaluate its barriers on one.
+			fmt.Fprintln(os.Stderr, "ffis: -adaptive cannot run under -shard (a shard never holds a complete run prefix); drop one of them")
+			os.Exit(2)
+		}
+		opts.Stop = &stats.StopRule{TargetHalfWidth: *adaptive}
 	}
 	if *progress {
 		opts.Progress = experiments.ProgressPrinter(os.Stderr)
@@ -224,16 +239,26 @@ func main() {
 	}
 	fmt.Printf("fault signature: %s\n", res.Signature)
 	fmt.Printf("profiled %d dynamic executions of the target primitive\n", res.ProfileCount)
+	if res.StopIndex > 0 {
+		fmt.Printf("adaptive stop at run %d of the %d-run budget (target half-width %.3g)\n",
+			res.StopIndex, *runs, *adaptive)
+	}
+	executed := res.Tally.Total()
 	switch {
 	case *asJSON:
 		if err := core.WriteResultsJSON(os.Stdout, []core.CampaignResult{res}); err != nil {
 			fmt.Fprintf(os.Stderr, "ffis: %v\n", err)
 			os.Exit(1)
 		}
+	case *asCSV && *showCI:
+		fmt.Print(classify.CSVCI([]classify.Cell{res.Cell()}))
 	case *asCSV:
 		fmt.Print(classify.CSV([]classify.Cell{res.Cell()}))
+	case *showCI:
+		fmt.Print(classify.TableCI(fmt.Sprintf("campaign %s (%d runs)", res.Cell().Label, executed),
+			[]classify.Cell{res.Cell()}))
 	default:
-		fmt.Print(classify.Table(fmt.Sprintf("campaign %s (%d runs)", res.Cell().Label, *runs),
+		fmt.Print(classify.Table(fmt.Sprintf("campaign %s (%d runs)", res.Cell().Label, executed),
 			[]classify.Cell{res.Cell()}))
 	}
 }

@@ -142,6 +142,74 @@ func Table(title string, cells []Cell) string {
 	return b.String()
 }
 
+// rateCI renders one outcome's cell in the "rate ±halfwidth" form the
+// adaptive-stopping surfaces use: the observed percentage with the Wilson
+// 95% half-width that the stopping rule itself evaluates, so a table read
+// next to a StopRule target is in the rule's own units.
+func rateCI(t Tally, o Outcome) string {
+	p := t.Rate(o)
+	return fmt.Sprintf("%.1f ±%.1f%%", 100*p.P(), 100*p.WilsonHalfWidth95())
+}
+
+// TableCI renders cells as an aligned text table with every outcome column
+// in "rate ±halfwidth" form (Wilson 95%), plus the per-cell run count —
+// which under adaptive stopping differs between cells, making the n column
+// load-bearing rather than decorative.
+func TableCI(title string, cells []Cell) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-18s %6s %13s %13s %13s %13s\n",
+		"cell", "runs", "benign", "SDC", "detect", "crash")
+	for _, c := range cells {
+		tt := c.Tally
+		fmt.Fprintf(&b, "%-18s %6d %13s %13s %13s %13s\n",
+			c.Label, tt.Total(),
+			rateCI(tt, Benign), rateCI(tt, SDC), rateCI(tt, Detected), rateCI(tt, Crash))
+	}
+	return b.String()
+}
+
+// CSVCI renders cells as comma-separated rows carrying, per outcome, the
+// raw count plus the rate and Wilson 95% half-width as fractions — the
+// machine-readable twin of TableCI.
+func CSVCI(cells []Cell) string {
+	var b strings.Builder
+	b.WriteString("label,runs")
+	for _, o := range Outcomes() {
+		name := strings.ToLower(o.String())
+		fmt.Fprintf(&b, ",%s,%s_rate,%s_hw95", name, name, name)
+	}
+	b.WriteString("\n")
+	for _, c := range cells {
+		tt := c.Tally
+		fmt.Fprintf(&b, "%s,%d", QuoteCSV(c.Label), tt.Total())
+		for _, o := range Outcomes() {
+			p := tt.Rate(o)
+			fmt.Fprintf(&b, ",%d,%.6f,%.6f", tt.Count(o), p.P(), p.WilsonHalfWidth95())
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// MarkdownCI renders cells as a GitHub-flavored Markdown table with every
+// outcome column in "rate ±halfwidth" form (Wilson 95%) and the per-cell
+// run count.
+func MarkdownCI(title string, cells []Cell) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s\n\n", title)
+	b.WriteString("| cell | runs | benign | SDC | detected | crash |\n")
+	b.WriteString("|---|---:|---:|---:|---:|---:|\n")
+	for _, c := range cells {
+		tt := c.Tally
+		label := strings.ReplaceAll(c.Label, "|", `\|`)
+		fmt.Fprintf(&b, "| %s | %d | %s | %s | %s | %s |\n",
+			label, tt.Total(),
+			rateCI(tt, Benign), rateCI(tt, SDC), rateCI(tt, Detected), rateCI(tt, Crash))
+	}
+	return b.String()
+}
+
 // QuoteCSV renders one field per RFC 4180: fields containing a comma, a
 // double quote, or a line break are wrapped in double quotes with embedded
 // quotes doubled; everything else passes through verbatim. Every CSV

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ffis/internal/classify"
+	"ffis/internal/stats"
+)
+
+// adaptiveToyCampaign runs the toy workload under bit-flip with the given
+// rule and worker count.
+func adaptiveToyCampaign(t *testing.T, rule *stats.StopRule, workers int) CampaignResult {
+	t.Helper()
+	res, err := Campaign(CampaignConfig{
+		Fault:   Config{Model: BitFlip},
+		Runs:    400,
+		Seed:    42,
+		Workers: workers,
+		Stop:    rule,
+	}, toyWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestAdaptiveStopsIndependentOfWorkers is the core half of the determinism
+// satellite: the stopping index and the tallies must be a function of
+// (seed, rule) alone, never of pool width or scheduling.
+func TestAdaptiveStopsIndependentOfWorkers(t *testing.T) {
+	rule := &stats.StopRule{TargetHalfWidth: 0.08, MinRuns: 50, CheckEvery: 25}
+	serial := adaptiveToyCampaign(t, rule, 1)
+	parallel := adaptiveToyCampaign(t, rule, 8)
+	if serial.StopIndex != parallel.StopIndex {
+		t.Fatalf("stop index differs by worker count: %d vs %d", serial.StopIndex, parallel.StopIndex)
+	}
+	if serial.Tally != parallel.Tally {
+		t.Fatalf("tallies differ by worker count:\n  %v\n  %v", serial.Tally, parallel.Tally)
+	}
+	// The toy cell is (nearly) deterministic in outcome, so it must stop at
+	// the first barrier — spending measurably less than the 400-run budget.
+	if serial.StopIndex != 50 {
+		t.Fatalf("stop index = %d, want the first barrier (50)", serial.StopIndex)
+	}
+	if got := len(serial.Records); got != serial.StopIndex {
+		t.Fatalf("%d records for stop index %d", got, serial.StopIndex)
+	}
+}
+
+// TestAdaptiveCapsAtBudget: a rule no cell can satisfy runs the full budget
+// and reports StopIndex == Runs — distinguishable from the fixed-budget 0.
+func TestAdaptiveCapsAtBudget(t *testing.T) {
+	rule := &stats.StopRule{TargetHalfWidth: 0.001, MinRuns: 50, CheckEvery: 100}
+	res := adaptiveToyCampaign(t, rule, 4)
+	if res.StopIndex != 400 {
+		t.Fatalf("stop index = %d, want the 400-run cap", res.StopIndex)
+	}
+	if res.Tally.Total() != 400 {
+		t.Fatalf("tally covers %d runs, want 400", res.Tally.Total())
+	}
+}
+
+// TestAdaptivePrefixMatchesFixedBudget: the adaptive campaign's records are
+// bit-identical to the same index prefix of the fixed-budget campaign — the
+// rule only decides where the sequence ends, never what is in it.
+func TestAdaptivePrefixMatchesFixedBudget(t *testing.T) {
+	fixed, err := Campaign(CampaignConfig{
+		Fault: Config{Model: BitFlip}, Runs: 400, Seed: 42, Workers: 4,
+	}, toyWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive := adaptiveToyCampaign(t, &stats.StopRule{TargetHalfWidth: 0.08, MinRuns: 50, CheckEvery: 25}, 4)
+	if fixed.StopIndex != 0 {
+		t.Fatalf("fixed-budget campaign reports stop index %d, want 0", fixed.StopIndex)
+	}
+	for i, rec := range adaptive.Records {
+		want := fixed.Records[i]
+		if rec.Index != want.Index || rec.Target != want.Target || rec.Outcome != want.Outcome {
+			t.Fatalf("record %d differs between adaptive and fixed: %+v vs %+v", i, rec, want)
+		}
+	}
+}
+
+// TestAdaptiveResumeWithPriorOutcomes: skipping already-persisted indices
+// via RunFilter while feeding their outcomes back through PriorOutcome must
+// reach the same stopping decision as the uninterrupted campaign.
+func TestAdaptiveResumeWithPriorOutcomes(t *testing.T) {
+	rule := &stats.StopRule{TargetHalfWidth: 0.08, MinRuns: 50, CheckEvery: 25}
+	full := adaptiveToyCampaign(t, rule, 4)
+	prior := map[int]classify.Outcome{}
+	const persisted = 30 // "crash" left the first 30 runs on disk
+	for _, rec := range full.Records[:persisted] {
+		prior[rec.Index] = rec.Outcome
+	}
+	res, err := Campaign(CampaignConfig{
+		Fault: Config{Model: BitFlip}, Runs: 400, Seed: 42, Workers: 4,
+		Stop:      rule,
+		RunFilter: func(idx int) bool { return idx >= persisted },
+		PriorOutcome: func(idx int) (classify.Outcome, bool) {
+			o, ok := prior[idx]
+			return o, ok
+		},
+	}, toyWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StopIndex != full.StopIndex {
+		t.Fatalf("resumed stop index %d, want %d", res.StopIndex, full.StopIndex)
+	}
+	if got := res.Tally.Total() + persisted; got != full.Tally.Total() {
+		t.Fatalf("resumed executed %d runs + %d persisted, want %d total",
+			res.Tally.Total(), persisted, full.Tally.Total())
+	}
+}
+
+// TestAdaptiveRequiresPriorForFilteredRuns: an adaptive campaign whose
+// RunFilter skips indices without a PriorOutcome source cannot evaluate
+// complete prefixes and must refuse, and a skipped index the source does
+// not know must fail the campaign rather than mis-evaluate the rule.
+func TestAdaptiveRequiresPriorForFilteredRuns(t *testing.T) {
+	cfg := CampaignConfig{
+		Fault: Config{Model: BitFlip}, Runs: 100, Seed: 1, Workers: 2,
+		Stop:      &stats.StopRule{TargetHalfWidth: 0.1},
+		RunFilter: func(idx int) bool { return idx%2 == 0 },
+	}
+	if _, err := Campaign(cfg, toyWorkload()); err == nil ||
+		!strings.Contains(err.Error(), "PriorOutcome") {
+		t.Fatalf("err = %v, want PriorOutcome requirement", err)
+	}
+	cfg.PriorOutcome = func(int) (classify.Outcome, bool) { return 0, false }
+	if _, err := Campaign(cfg, toyWorkload()); err == nil ||
+		!strings.Contains(err.Error(), "no persisted outcome") {
+		t.Fatalf("err = %v, want missing-prior failure", err)
+	}
+}
+
+// TestAdaptiveRejectsBadRule: rule validation surfaces before any run
+// executes.
+func TestAdaptiveRejectsBadRule(t *testing.T) {
+	_, err := Campaign(CampaignConfig{
+		Fault: Config{Model: BitFlip}, Runs: 100, Seed: 1,
+		Stop: &stats.StopRule{}, // no target half-width
+	}, toyWorkload())
+	if err == nil {
+		t.Fatal("campaign accepted a stopping rule without a target half-width")
+	}
+}

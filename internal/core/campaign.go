@@ -92,6 +92,35 @@ type CampaignConfig struct {
 	// owns index % n == i) with no statistical caveats. The Tally and
 	// Records of the result cover only the executed indices.
 	RunFilter func(idx int) bool
+	// Stop enables adaptive, confidence-driven stopping: runs dispatch in
+	// chunks up to the rule's fixed index barriers, and at each barrier the
+	// complete outcome tally of the prefix [0, barrier) decides whether the
+	// campaign stops there. Runs is the fixed budget the rule is normalized
+	// against (its MaxRuns cap). Because barriers are index-determined and
+	// each run's outcome derives purely from (Seed, index), the stopping
+	// index is independent of Workers and scheduling. Nil keeps the classic
+	// fixed-budget campaign, bit for bit.
+	Stop *stats.StopRule
+	// PriorOutcome reports the already-persisted outcome of a run index the
+	// RunFilter skips. Adaptive campaigns require it whenever RunFilter is
+	// set: a barrier decision needs the complete prefix tally, so skipped
+	// indices must contribute their stored outcomes (resume); a shard,
+	// which cannot know its siblings' outcomes, cannot run adaptively.
+	PriorOutcome func(idx int) (classify.Outcome, bool)
+}
+
+// NormalizedStop resolves the campaign's adaptive stopping rule against its
+// run budget: every field concrete, as persisted in record headers. Nil
+// when the campaign is fixed-budget.
+func (cfg CampaignConfig) NormalizedStop() (*stats.StopRule, error) {
+	if cfg.Stop == nil {
+		return nil, nil
+	}
+	r, err := cfg.Stop.Normalize(cfg.Runs)
+	if err != nil {
+		return nil, err
+	}
+	return &r, nil
 }
 
 // execTotal counts the run indices the campaign will actually execute
@@ -117,6 +146,10 @@ type CampaignMeta struct {
 	ProfileCount int64
 	Runs         int
 	Seed         uint64
+	// Stop is the normalized adaptive stopping rule, nil for fixed-budget
+	// campaigns. It is part of the stream's identity: records produced
+	// under a different rule stop at a different index.
+	Stop *stats.StopRule
 }
 
 // RecordSink streams finished run records out of a campaign while it runs,
@@ -133,14 +166,24 @@ type RecordSink interface {
 	Record(RunRecord) error
 }
 
+// StopRecorder is the optional RecordSink extension for adaptive campaigns:
+// after the stopping rule decides, the campaign hands the sink the stop
+// index so it can persist the decision with the records (internal/results
+// rewrites its header line on finalize). A sink without this method simply
+// never learns the stop index — the records themselves are unaffected.
+type StopRecorder interface {
+	RecordStop(stopIndex int) error
+}
+
 // RunRecord captures a single fault-injection run.
 type RunRecord struct {
 	Index    int
 	Target   int64 // dynamic instance of the primitive that was corrupted
 	Outcome  classify.Outcome
-	Mutation Mutation
-	Fired    bool  // false when the target instance was never reached
-	RunErr   error // the application error, if any
+	Mutation Mutation // the first (primary) mutation of the event
+	Fired    bool     // false when the target instance was never reached
+	Shots    int      // shots fired; 1 for the single-shot family, 0 when never fired
+	RunErr   error    // the application error, if any
 }
 
 // CampaignResult aggregates a finished campaign.
@@ -152,6 +195,12 @@ type CampaignResult struct {
 	ProfileCount int64
 	Tally        classify.Tally
 	Records      []RunRecord
+	// StopIndex is the adaptive stopping decision: run indices [0,
+	// StopIndex) exist and nothing after them does. 0 means the campaign
+	// ran its fixed budget (no stopping rule); an adaptive campaign that
+	// reaches its cap reports StopIndex == Runs, keeping "adaptive, capped"
+	// distinguishable from "fixed" in persisted headers.
+	StopIndex int
 }
 
 // Cell renders the result as a labelled classify table cell.
@@ -284,6 +333,7 @@ func runOnceWorld(base vfs.FS, w Workload, sig Signature, target int64, rng *sta
 		Outcome:  outcome,
 		Mutation: mut,
 		Fired:    fired,
+		Shots:    inj.FiredShots(),
 		RunErr:   runErr,
 	}, nil
 }
@@ -343,6 +393,13 @@ func runStream(seed uint64, idx int) *stats.RNG {
 // shared pool under Engine. progress (optional) receives the completed-run
 // count as runs finish.
 //
+// With cfg.Stop set, dispatch is chunked at the rule's index barriers: the
+// runner drains each chunk completely, evaluates the rule on the prefix
+// tally (executed outcomes plus PriorOutcome for indices the RunFilter
+// skipped), and stops dispatching once satisfied. The evaluated prefix is
+// always a complete [0, barrier) — never a completion-order sample — so the
+// stopping index depends only on (Seed, Runs, rule), not on Workers.
+//
 // Error semantics: a failing run (world build or arming failure — never the
 // application's own error, which classification absorbs) does not poison
 // its siblings. Every successful run is tallied, recorded, and delivered to
@@ -351,10 +408,18 @@ func runStream(seed uint64, idx int) *stats.RNG {
 // else), never a silent prefix of them.
 func runInjections(cfg CampaignConfig, w Workload, snap *WorldSnapshot, sig Signature, count int64, sem chan struct{}, progress func(done int)) (CampaignResult, error) {
 	res := CampaignResult{Workload: w.Name, Signature: sig, ProfileCount: count}
+	rule, err := cfg.NormalizedStop()
+	if err != nil {
+		return res, err
+	}
+	if rule != nil && cfg.RunFilter != nil && cfg.PriorOutcome == nil {
+		return res, errors.New("core: adaptive stopping under a RunFilter needs PriorOutcome for the skipped indices (shards cannot run adaptively)")
+	}
 	if cfg.Sink != nil {
 		if err := cfg.Sink.BeginCampaign(CampaignMeta{
 			Workload: w.Name, Signature: sig,
 			ProfileCount: count, Runs: cfg.Runs, Seed: cfg.Seed,
+			Stop: rule,
 		}); err != nil {
 			return res, fmt.Errorf("core: record sink: %w", err)
 		}
@@ -378,52 +443,102 @@ func runInjections(cfg CampaignConfig, w Workload, snap *WorldSnapshot, sig Sign
 		failIdx = -1
 		failErr error
 		sinkErr error
+		// priorTally accumulates the persisted outcomes of skipped indices
+		// (adaptive resume); touched only from the dispatch loop, read only
+		// after its chunk has drained.
+		priorTally classify.Tally
+		priorErr   error
 	)
-	for idx := 0; idx < cfg.Runs; idx++ {
-		if cfg.RunFilter != nil && !cfg.RunFilter(idx) {
-			continue
-		}
-		idx := idx
-		sem <- struct{}{}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			rng := runStream(cfg.Seed, idx)
-			target := rng.Int64n(count)
-			rec, err := func() (RunRecord, error) {
-				base, err := snap.World()
+	// dispatch launches runs for indices [lo, hi) and waits for the chunk to
+	// drain, so the caller observes a complete prefix.
+	dispatch := func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			if cfg.RunFilter != nil && !cfg.RunFilter(idx) {
+				if rule != nil && priorErr == nil {
+					if o, ok := cfg.PriorOutcome(idx); ok {
+						priorTally.Add(o)
+					} else {
+						priorErr = fmt.Errorf("core: adaptive resume: no persisted outcome for skipped run %d", idx)
+					}
+				}
+				continue
+			}
+			idx := idx
+			sem <- struct{}{}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				rng := runStream(cfg.Seed, idx)
+				target := rng.Int64n(count)
+				rec, err := func() (RunRecord, error) {
+					base, err := snap.World()
+					if err != nil {
+						return RunRecord{}, err
+					}
+					return runOnceWorld(base, w, sig, target, rng, cfg.ArmMounts)
+				}()
+				rec.Index = idx
+				mu.Lock()
+				defer mu.Unlock()
 				if err != nil {
-					return RunRecord{}, err
+					if failIdx < 0 || idx < failIdx {
+						failIdx, failErr = idx, err
+					}
+				} else {
+					tally.Add(rec.Outcome)
+					if records != nil {
+						records[idx], ran[idx] = rec, true
+					}
+					if cfg.Sink != nil && sinkErr == nil {
+						// The sink goes sterile after its first error: a
+						// persistent store that failed mid-stream must not
+						// receive further records it could misorder.
+						sinkErr = cfg.Sink.Record(rec)
+					}
 				}
-				return runOnceWorld(base, w, sig, target, rng, cfg.ArmMounts)
+				done++
+				if progress != nil {
+					progress(done)
+				}
 			}()
-			rec.Index = idx
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if failIdx < 0 || idx < failIdx {
-					failIdx, failErr = idx, err
-				}
-			} else {
-				tally.Add(rec.Outcome)
-				if records != nil {
-					records[idx], ran[idx] = rec, true
-				}
-				if cfg.Sink != nil && sinkErr == nil {
-					// The sink goes sterile after its first error: a
-					// persistent store that failed mid-stream must not
-					// receive further records it could misorder.
-					sinkErr = cfg.Sink.Record(rec)
-				}
-			}
-			done++
-			if progress != nil {
-				progress(done)
-			}
-		}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
+	if rule == nil {
+		dispatch(0, cfg.Runs)
+	} else {
+		for next := 0; ; {
+			b := rule.NextBarrier(next)
+			dispatch(next, b)
+			next = b
+			if failErr != nil || sinkErr != nil || priorErr != nil {
+				break
+			}
+			res.StopIndex = b
+			if b >= rule.MaxRuns {
+				break
+			}
+			// The complete prefix [0, b): executed outcomes plus the
+			// persisted outcomes of skipped indices. wg has drained, so
+			// tally has no concurrent writers.
+			outcomes := classify.Outcomes()
+			counts := make([]int, len(outcomes))
+			trials := 0
+			for i, o := range outcomes {
+				counts[i] = tally.Count(o) + priorTally.Count(o)
+				trials += counts[i]
+			}
+			if rule.Satisfied(counts, trials) {
+				break
+			}
+		}
+		// Persist the decision: a sink that stores records by index needs
+		// the stop index to declare the stream complete.
+		if sr, ok := cfg.Sink.(StopRecorder); ok && failErr == nil && sinkErr == nil && priorErr == nil {
+			sinkErr = sr.RecordStop(res.StopIndex)
+		}
+	}
 
 	res.Tally = tally
 	if records != nil {
@@ -438,6 +553,8 @@ func runInjections(cfg CampaignConfig, w Workload, snap *WorldSnapshot, sig Sign
 		return res, fmt.Errorf("core: run %d: %w", failIdx, failErr)
 	case sinkErr != nil:
 		return res, fmt.Errorf("core: record sink: %w", sinkErr)
+	case priorErr != nil:
+		return res, priorErr
 	}
 	return res, nil
 }

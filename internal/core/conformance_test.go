@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -194,9 +195,11 @@ func TestConformanceUnhostedPassThrough(t *testing.T) {
 	}
 }
 
-// TestConformanceSingleShot asserts claim semantics: the target index
-// selects exactly one dynamic instance, and later instances pass through
-// with the mutation record unchanged.
+// TestConformanceSingleShot asserts primary-claim semantics: the target
+// index selects the first struck dynamic instance, instances before it pass
+// through, and the dynamic count keeps advancing afterwards. For MultiShot
+// models this pins the event's primary shot; TestConformanceShotBudget
+// covers the rest of their budget.
 func TestConformanceSingleShot(t *testing.T) {
 	for _, m := range AllModels() {
 		prim := m.Hosts()[0]
@@ -276,6 +279,9 @@ func TestConformanceZeroLengthIO(t *testing.T) {
 				if _, fired := inj.Fired(); fired {
 					t.Fatal("zero-length I/O fired the shot")
 				}
+				if inj.FiredShots() != 0 {
+					t.Fatal("zero-length I/O consumed shot budget")
+				}
 				// The next real instance must still be corruptible.
 				exercisePrimitive(t, fs, prim, primTarget(prim))
 				if _, fired := inj.Fired(); !fired {
@@ -283,6 +289,121 @@ func TestConformanceZeroLengthIO(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// exerciseInstances performs n dynamic instances of the model's default
+// primitive through fs (write: n Write calls on one handle; read: n Read
+// calls), ignoring per-op errors — some models fail ops by design.
+func exerciseInstances(t *testing.T, fs vfs.FS, prim vfs.Primitive, n int) {
+	t.Helper()
+	switch prim {
+	case vfs.PrimWrite:
+		f, err := fs.Create("/burstfile")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		buf := bytes.Repeat([]byte{0x5C}, 4096)
+		for i := 0; i < n; i++ {
+			f.Write(buf)
+		}
+	case vfs.PrimRead:
+		f, err := fs.Open("/victim")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		buf := make([]byte, 1024)
+		for i := 0; i < n; i++ {
+			f.Read(buf)
+		}
+	default:
+		t.Fatalf("conformance: no instance loop for primitive %s", prim)
+	}
+}
+
+// expectedClaims replays the injector's claim algebra in the open: given
+// the model's shot plan and a budget, how many of n instances from the
+// target on must fire.
+func expectedClaims(m Model, f Feature, budget, n int) int {
+	plan, multi := m.(MultiShot)
+	fired := 0
+	for rel := int64(0); rel < int64(n); rel++ {
+		if fired >= budget {
+			break
+		}
+		if multi {
+			if plan.Claims(f, rel) {
+				fired++
+			}
+		} else if rel == 0 {
+			fired++
+		}
+	}
+	return fired
+}
+
+// TestConformanceShotBudget asserts the multi-shot accounting contract over
+// every registered model: exactly the shots the model's plan selects fire —
+// never more than the budget — and every fired shot leaves a mutation
+// record. Single-manifestation models must fire exactly once regardless of
+// any budget override: a budget is capacity, not a claim plan.
+func TestConformanceShotBudget(t *testing.T) {
+	const instances = 24
+	for _, m := range AllModels() {
+		prim := m.Hosts()[0]
+		for _, shots := range []int{0, 1, 2} { // 0 = model default
+			t.Run(fmt.Sprintf("%s/shots=%d", m.Name(), shots), func(t *testing.T) {
+				base := conformanceWorld(t)
+				sig := Config{Model: m, Primitive: prim, Shots: shots}.Signature()
+				inj := NewInjector(sig, 0, stats.NewRNG(7))
+				exerciseInstances(t, inj.Wrap(base), prim, instances)
+				want := expectedClaims(m, sig.Feature, sig.ShotBudget(), instances)
+				if got := inj.FiredShots(); got != want {
+					t.Fatalf("fired %d shots, want %d (budget %d over %d instances)",
+						got, want, sig.ShotBudget(), instances)
+				}
+				if muts := inj.Mutations(); len(muts) != want {
+					t.Fatalf("recorded %d mutations for %d fired shots — every shot must Record",
+						len(muts), want)
+				}
+				if got := inj.Count(); got != instances {
+					t.Fatalf("count = %d, want %d (instances past the budget must still be counted)",
+						got, instances)
+				}
+			})
+		}
+	}
+}
+
+// TestConformanceBudgetExhaustionRestoresTransparency asserts that once the
+// budget is spent the injector is a pure pass-through again: a DeviceFailure
+// capped at 2 shots refuses exactly two writes, then the device "recovers"
+// and later writes both succeed and persist intact.
+func TestConformanceBudgetExhaustionRestoresTransparency(t *testing.T) {
+	base := conformanceWorld(t)
+	sig := Config{Model: MustModel("device-failure"), Shots: 2}.Signature()
+	inj := NewInjector(sig, 0, stats.NewRNG(7))
+	f, err := inj.Wrap(base).Create("/cap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := bytes.Repeat([]byte{0xEE}, 512)
+	for i := 0; i < 2; i++ {
+		if _, err := f.Write(buf); err == nil {
+			t.Fatalf("write %d succeeded inside the failure window", i)
+		}
+	}
+	if _, err := f.Write(buf); err != nil {
+		t.Fatalf("write after budget exhaustion failed: %v", err)
+	}
+	if got, err := vfs.ReadFile(base, "/cap"); err != nil || !bytes.Equal(got, buf) {
+		t.Fatalf("post-budget write did not persist intact: %v", err)
+	}
+	if inj.FiredShots() != 2 {
+		t.Fatalf("fired %d shots, want exactly the budget of 2", inj.FiredShots())
 	}
 }
 

@@ -305,6 +305,14 @@ func (e *Engine) runSpec(spec CampaignSpec, sem chan struct{}) (CampaignResult, 
 		e.emit(EngineEvent{Key: spec.Key, Done: total, Total: total, Err: err})
 		return res, err
 	}
+	if res.StopIndex > 0 && res.StopIndex < cfg.Runs {
+		// Adaptive early stop: the completion event reports the runs that
+		// actually executed, so progress ends at done/done rather than
+		// pretending the unspent budget ran.
+		executed := res.Tally.Total()
+		e.emit(EngineEvent{Key: spec.Key, Done: executed, Total: executed, Result: &res})
+		return res, nil
+	}
 	e.emit(EngineEvent{Key: spec.Key, Done: total, Total: total, Result: &res})
 	return res, nil
 }

@@ -31,12 +31,16 @@ type WriteOp struct {
 
 // WriteAction tells the injector how to complete an intercepted write.
 type WriteAction struct {
-	// Buf is the buffer actually handed to the device (ignored when Skip).
+	// Buf is the buffer actually handed to the device (ignored when Skip
+	// or Err).
 	Buf []byte
 	// Skip suppresses the device write entirely while acknowledging full
 	// success to the application — the sequential offset still advances,
 	// as a device that lied about persisting would leave it.
 	Skip bool
+	// Err fails the write: nothing reaches the device and the application
+	// sees this error with zero bytes written (device-failure models).
+	Err error
 }
 
 // ReadOp describes one claimed read instance (sequential Read or positional

@@ -12,37 +12,51 @@ import (
 
 // Injector holds the armed fault state shared by every handle of an
 // InjectorFS. It counts dynamic executions of the signature's primitive and
-// corrupts exactly the target-th instance (0-based), as the paper's fault
-// injector does: "for each fault injection run, it first generates a random
-// number from 0 to count-1 ... when the execution count of the target
-// primitive hits that random number, the fault injector applies the fault".
+// corrupts the target-th instance (0-based), as the paper's fault injector
+// does: "for each fault injection run, it first generates a random number
+// from 0 to count-1 ... when the execution count of the target primitive
+// hits that random number, the fault injector applies the fault".
 //
-// The injector knows nothing about individual fault models: once its single
-// shot is claimed on the armed primitive, it hands the instance to the
-// signature's Model hook (MutateWrite/MutateRead/MutateTruncate/MutateMeta)
-// and completes the primitive the way the returned action dictates. Models
-// are therefore free to ship as self-contained registrations — no dispatch
+// One injection run still models one physical fault event, but an event may
+// manifest on more than one primitive instance: the injector carries a shot
+// budget (Signature.ShotBudget — 1 unless the model implements MultiShot or
+// Signature.Shots overrides it), and a MultiShot model selects which
+// instances at or after the drawn target belong to the event. For the
+// single-shot default the claim sequence is exactly the classic one: the
+// target instance fires, everything else passes through.
+//
+// The injector knows nothing about individual fault models: once a shot is
+// claimed on the armed primitive, it hands the instance to the signature's
+// Model hook (MutateWrite/MutateRead/MutateTruncate/MutateMeta) and
+// completes the primitive the way the returned action dictates. Models are
+// therefore free to ship as self-contained registrations — no dispatch
 // switch here grows when the vocabulary does.
 type Injector struct {
 	sig    Signature
 	target int64
 	rng    *stats.RNG
+	shots  int       // resolved shot budget
+	plan   MultiShot // nil: only rel 0 claims
 
 	count atomic.Int64
 
-	mu       sync.Mutex
-	mutation *Mutation
+	mu        sync.Mutex
+	fired     int
+	mutations []Mutation
 }
 
 // NewInjector arms an injector for the given signature at the given dynamic
-// instance. rng supplies the intra-buffer randomness (bit position). The
-// injector is single-shot: after firing it passes everything through.
+// instance. rng supplies the intra-buffer randomness (bit position). After
+// its shot budget is exhausted the injector passes everything through.
 func NewInjector(sig Signature, target int64, rng *stats.RNG) *Injector {
-	return &Injector{sig: Signature{
+	sig = Signature{
 		Model:     sig.Model,
 		Primitive: sig.Primitive,
 		Feature:   sig.Feature.normalize(),
-	}, target: target, rng: rng}
+		Shots:     sig.Shots,
+	}
+	plan, _ := sig.Model.(MultiShot)
+	return &Injector{sig: sig, target: target, rng: rng, shots: sig.ShotBudget(), plan: plan}
 }
 
 // Disarmed returns an injector that never fires; wrapping with it yields a
@@ -60,28 +74,61 @@ func (inj *Injector) Target() int64 { return inj.target }
 // Count returns how many instances of the target primitive have executed.
 func (inj *Injector) Count() int64 { return inj.count.Load() }
 
-// Fired reports whether the fault has been planted, and the mutation record
-// if so.
+// Fired reports whether the fault has been planted, and the first recorded
+// mutation if so — the event's primary record; FiredShots counts the rest.
 func (inj *Injector) Fired() (Mutation, bool) {
 	inj.mu.Lock()
 	defer inj.mu.Unlock()
-	if inj.mutation == nil {
+	if len(inj.mutations) == 0 {
 		return Mutation{}, false
 	}
-	return *inj.mutation, true
+	return inj.mutations[0], true
 }
 
-// claim atomically checks whether this primitive execution is the target.
+// FiredShots returns how many shots of the budget have been claimed.
+func (inj *Injector) FiredShots() int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.fired
+}
+
+// Mutations returns a copy of every recorded mutation, in firing order.
+func (inj *Injector) Mutations() []Mutation {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return append([]Mutation(nil), inj.mutations...)
+}
+
+// claim atomically checks whether this primitive execution is one of the
+// event's shots. The dynamic count always advances; a disarmed injector
+// (negative target) never fires; instances before the target never fire.
+// At or past the target the model's shot plan (default: only the target
+// itself) decides, bounded by the remaining budget.
 func (inj *Injector) claim() bool {
 	idx := inj.count.Add(1) - 1
-	return idx == inj.target
+	if inj.target < 0 || idx < inj.target {
+		return false
+	}
+	rel := idx - inj.target
+	if inj.plan == nil && rel != 0 {
+		return false
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if inj.fired >= inj.shots {
+		return false
+	}
+	if inj.plan != nil && !inj.plan.Claims(inj.sig.Feature, rel) {
+		return false
+	}
+	inj.fired++
+	return true
 }
 
 func (inj *Injector) record(m Mutation) {
 	inj.mu.Lock()
 	defer inj.mu.Unlock()
-	cp := m
-	inj.mutation = &cp
+	inj.mutations = append(inj.mutations, m)
 }
 
 // flip is the single entry point to the injector's RNG for bit flipping:
@@ -123,11 +170,20 @@ func (e Env) Intn(n int) int {
 	return e.inj.rng.Intn(n)
 }
 
-// Record stores the mutation as the injector's fired record; Fired()
-// reports it and the campaign runner logs it. Every hook must record
-// exactly what it did — an unrecorded shot tallies the run as never
+// Record appends the mutation to the injector's fired record; Fired()
+// reports the first one and the campaign runner logs it. Every hook must
+// record exactly what it did — an unrecorded shot tallies the run as never
 // injected.
 func (e Env) Record(m Mutation) { e.inj.record(m) }
+
+// Shot returns the 1-based ordinal of the shot being served: 1 for the
+// drawn target instance, 2 for a MultiShot model's second manifestation,
+// and so on. Hooks use it to label correlated mutations.
+func (e Env) Shot() int {
+	e.inj.mu.Lock()
+	defer e.inj.mu.Unlock()
+	return e.inj.fired
+}
 
 // Wrap returns a file system that behaves exactly like inner except for the
 // single corrupted primitive instance.
@@ -269,6 +325,11 @@ func (f *injectorFile) Write(p []byte) (int, error) {
 	}
 	act := f.inj.sig.Model.MutateWrite(f.inj.env(),
 		WriteOp{File: f.File, Path: f.File.Name(), Buf: p, Off: off})
+	if act.Err != nil {
+		// The device refused the write: nothing persisted, nothing
+		// acknowledged, the sequential offset stays put.
+		return 0, act.Err
+	}
 	if act.Skip {
 		// The device dropped (or misdirected) the write but acknowledged
 		// it: place the sequential offset at the absolute post-write
@@ -297,6 +358,9 @@ func (f *injectorFile) WriteAt(p []byte, off int64) (int, error) {
 	}
 	act := f.inj.sig.Model.MutateWrite(f.inj.env(),
 		WriteOp{File: f.File, Path: f.File.Name(), Buf: p, Off: off})
+	if act.Err != nil {
+		return 0, act.Err
+	}
 	if act.Skip {
 		return len(p), nil
 	}

@@ -94,6 +94,26 @@ func IsRead(m Model) bool {
 	return len(hosts) > 0 && hosts[0] == vfs.PrimRead
 }
 
+// MultiShot is the optional interface of correlated fault models: models
+// whose one physical fault event manifests on more than one primitive
+// instance (firmware misdirecting every Nth write, a device dropping off
+// the bus). The injector still draws a single uniform target instance; a
+// MultiShot model then decides which instances at or after the target
+// belong to the event, bounded by a shot budget.
+//
+// Single-manifestation models simply don't implement this: they keep the
+// exact claim sequence (and tallies) of the single-shot injector.
+type MultiShot interface {
+	// Claims reports whether the rel-th instance at or after the drawn
+	// target (rel 0 is the target itself) is one of the model's shots. It
+	// must be a pure function of (feature, rel) — campaign determinism
+	// depends on it.
+	Claims(f Feature, rel int64) bool
+	// DefaultShots is the model's shot budget when Signature.Shots is
+	// unset. It must be >= 1.
+	DefaultShots(f Feature) int
+}
+
 // Feature carries the per-model tunables of a fault signature. Zero values
 // select the paper's defaults via normalize().
 type Feature struct {
@@ -108,6 +128,16 @@ type Feature struct {
 	SectorSize int
 	// BlockSize is the device program block (4 KiB).
 	BlockSize int
+	// BurstSectors is the number of adjacent sectors BurstCorruption mangles
+	// in one event. 0 selects the model default (4). Deliberately not filled
+	// by normalize(): the correlated-model tunables stay zero-valued unless
+	// set, so legacy signatures (and their persisted headers) are
+	// bit-identical to the pre-multi-shot era.
+	BurstSectors int
+	// MisdirectEvery is the write-instance stride of RepeatedMisdirection:
+	// the target and every MisdirectEvery-th write after it are misplaced.
+	// 0 selects the model default (4). Not filled by normalize(), as above.
+	MisdirectEvery int
 }
 
 // normalize fills in the paper defaults for any unset field.
@@ -140,6 +170,26 @@ type Signature struct {
 	Model     Model
 	Primitive vfs.Primitive
 	Feature   Feature
+	// Shots bounds how many primitive instances one injection run may
+	// corrupt. 0 keeps the model's own default budget — 1 for every
+	// single-manifestation model, the MultiShot model's DefaultShots
+	// otherwise — and is deliberately left raw rather than normalized to 1
+	// so legacy signatures (and the record headers derived from them)
+	// serialize exactly as the single-shot era wrote them.
+	Shots int
+}
+
+// ShotBudget resolves the signature's effective shot budget.
+func (s Signature) ShotBudget() int {
+	if s.Shots > 0 {
+		return s.Shots
+	}
+	if ms, ok := s.Model.(MultiShot); ok {
+		if n := ms.DefaultShots(s.Feature); n > 0 {
+			return n
+		}
+	}
+	return 1
 }
 
 func (s Signature) String() string {
@@ -160,6 +210,9 @@ func (s Signature) Validate() error {
 	if s.Model == nil {
 		return fmt.Errorf("core: signature has no fault model (use ParseModel or a registered Model)")
 	}
+	if s.Shots < 0 {
+		return fmt.Errorf("core: signature shot budget %d is negative", s.Shots)
+	}
 	for _, p := range s.Model.Hosts() {
 		if p == s.Primitive {
 			return nil
@@ -177,6 +230,8 @@ type Config struct {
 	// read-path family.
 	Primitive vfs.Primitive
 	Feature   Feature
+	// Shots overrides the per-run shot budget; 0 keeps the model default.
+	Shots int
 }
 
 // Signature generates the fault signature from the configuration, applying
@@ -188,7 +243,7 @@ func (c Config) Signature() Signature {
 			prim = hosts[0]
 		}
 	}
-	return Signature{Model: c.Model, Primitive: prim, Feature: c.Feature.normalize()}
+	return Signature{Model: c.Model, Primitive: prim, Feature: c.Feature.normalize(), Shots: c.Shots}
 }
 
 // Mutation describes what a fault model did to one intercepted primitive

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+
+	"ffis/internal/vfs"
+)
+
+// RepeatedMisdirection is the firmware-bug rendering of a misdirected
+// write: once the bug triggers (at the drawn target instance), every Nth
+// write from then on is steered to the wrong LBA until the shot budget runs
+// out — a single temporally correlated event, not independent faults. The
+// model is the registry's first MultiShot registration: the injector,
+// campaign runner, engine, results store, and experiment grids all pick up
+// the multi-instance behavior through Signature.ShotBudget with no edits of
+// their own.
+var RepeatedMisdirection = Register(repeatedMisdirectionModel{}, "repeat-misdirect")
+
+type repeatedMisdirectionModel struct{ BaseModel }
+
+func (repeatedMisdirectionModel) Name() string  { return "repeated-misdirection" }
+func (repeatedMisdirectionModel) Short() string { return "RM" }
+
+func (repeatedMisdirectionModel) Hosts() []vfs.Primitive {
+	return []vfs.Primitive{vfs.PrimWrite}
+}
+
+func (repeatedMisdirectionModel) Describe() string {
+	return "from the target on, every Nth write is persisted at a wrong sector-aligned offset (feature: stride, default 4; default budget 4 shots)"
+}
+
+// misdirectEvery resolves the stride tunable; the default lives here rather
+// than in Feature.normalize so legacy signatures stay bit-identical.
+func misdirectEvery(f Feature) int {
+	if f.MisdirectEvery > 0 {
+		return f.MisdirectEvery
+	}
+	return 4
+}
+
+// Claims selects the target write and every stride-th write after it.
+func (repeatedMisdirectionModel) Claims(f Feature, rel int64) bool {
+	return rel%int64(misdirectEvery(f)) == 0
+}
+
+// DefaultShots bounds the event at four misplaced writes — long enough to
+// straddle checkpoint boundaries, short enough that the fault stays a
+// transient firmware episode rather than a dead device (that is
+// DeviceFailure's regime).
+func (repeatedMisdirectionModel) DefaultShots(Feature) int { return 4 }
+
+// MutateWrite performs the displaced write itself through the underlying
+// handle, then tells the injector to skip (and acknowledge) the requested
+// one — per shot, the same device behavior as MisdirectedWrite.
+func (rm repeatedMisdirectionModel) MutateWrite(env Env, op WriteOp) WriteAction {
+	f := env.Feature()
+	delta := int64(1+env.Intn(8)) * int64(f.SectorSize)
+	wrong := op.Off - delta
+	if wrong < 0 {
+		wrong = op.Off + delta
+	}
+	m := Mutation{
+		Model: rm, Path: op.Path, Offset: op.Off, Length: len(op.Buf),
+		Detail: fmt.Sprintf("shot %d persisted at offset %d", env.Shot(), wrong),
+	}
+	if _, err := op.File.WriteAt(op.Buf, wrong); err != nil {
+		m.Dropped = true
+		m.Detail = fmt.Sprintf("shot %d misdirected to offset %d and lost (%v)", env.Shot(), wrong, err)
+	}
+	env.Record(m)
+	return WriteAction{Skip: true}
+}
+
+func (repeatedMisdirectionModel) RenderMutation(m Mutation) string {
+	return fmt.Sprintf("repeated-misdirection %s off=%d len=%d %s", m.Path, m.Offset, m.Length, m.Detail)
+}

@@ -26,15 +26,18 @@ func Ablations(o Options) (string, error) {
 	}
 
 	spec := func(w core.Workload, pt core.SweepPoint) core.CampaignSpec {
+		fault := pt.Fault
+		fault.Shots = o.Shots
 		return core.CampaignSpec{
 			Key:      w.Name + "/" + pt.Label,
 			WorldKey: w.Name,
 			Workload: w,
 			Config: core.CampaignConfig{
-				Fault:     pt.Fault,
+				Fault:     fault,
 				Runs:      o.Runs,
 				Seed:      o.Seed,
 				ArmMounts: o.ArmMounts,
+				Stop:      o.Stop,
 			},
 		}
 	}
@@ -61,9 +64,9 @@ func Ablations(o Options) (string, error) {
 	}
 
 	var b strings.Builder
-	b.WriteString(classify.Table("Ablation: bit-flip width on Nyx (footnote 3: SDC stays minimal)", cells[:len(flips)]))
+	b.WriteString(o.table("Ablation: bit-flip width on Nyx (footnote 3: SDC stays minimal)", cells[:len(flips)]))
 	b.WriteString("\n")
-	b.WriteString(classify.Table("Ablation: shorn-write keep fraction on QMCPACK (Table I: 3/8 vs 7/8)", cells[len(flips):]))
+	b.WriteString(o.table("Ablation: shorn-write keep fraction on QMCPACK (Table I: 3/8 vs 7/8)", cells[len(flips):]))
 	return b.String(), nil
 }
 
@@ -104,7 +107,7 @@ func Fig7WithDetector(o Options) (string, error) {
 		}
 		cells = append(cells, classify.Cell{Label: r.Spec.Key, Tally: r.Result.Tally})
 	}
-	out := classify.Table(
+	out := o.table(
 		fmt.Sprintf("Nyx outcome spectrum without vs with the average-value method (%d runs per cell)", o.Runs),
 		cells)
 	return out, nil

@@ -59,6 +59,18 @@ type Options struct {
 	// — without this package importing the store. Nil runs grids
 	// in-memory, exactly as before.
 	RunGrid func(e *core.Engine, specs []core.CampaignSpec) ([]core.GridResult, error)
+	// Stop, when set, runs every campaign cell under the adaptive stopping
+	// rule (cmd flag -adaptive): Runs becomes a budget cap and each cell
+	// halts at the first barrier where every outcome rate's Wilson 95%
+	// half-width is under the target. Nil keeps the fixed budget.
+	Stop *stats.StopRule
+	// Shots overrides every fault signature's shot budget (cmd/ffis
+	// -shots); 0 keeps each model's own default (1 for the single-shot
+	// family).
+	Shots int
+	// CI switches campaign tables to per-outcome "rate ±halfwidth" columns
+	// (cmd flag -ci) — the units an adaptive stopping rule is stated in.
+	CI bool
 }
 
 // engine builds the shared grid scheduler for these options.
@@ -81,6 +93,16 @@ func (o Options) runGrid(specs []core.CampaignSpec) ([]core.GridResult, error) {
 		return o.RunGrid(e, specs)
 	}
 	return e.Run(specs), nil
+}
+
+// table renders campaign cells in the configured style: the classic
+// percentage columns, or — under CI — every outcome as "rate ±halfwidth"
+// with the per-cell run count, which adaptive stopping makes non-uniform.
+func (o Options) table(title string, cells []classify.Cell) string {
+	if o.CI {
+		return classify.TableCI(title, cells)
+	}
+	return classify.Table(title, cells)
 }
 
 // paper-scale defaults.
@@ -228,10 +250,11 @@ func fig7Spec(cellName string, w core.Workload, model core.Model, o Options) cor
 		WorldKey: cellName,
 		Workload: w,
 		Config: core.CampaignConfig{
-			Fault:     core.Config{Model: model},
+			Fault:     core.Config{Model: model, Shots: o.Shots},
 			Runs:      o.Runs,
 			Seed:      o.Seed,
 			ArmMounts: o.ArmMounts,
+			Stop:      o.Stop,
 		},
 	}
 }
@@ -293,7 +316,7 @@ func Fig7(o Options) (string, []classify.Cell, error) {
 		cells = append(cells, r.Result.Cell())
 	}
 	title := fmt.Sprintf("Figure 7: characterization of I/O faults (%d runs per cell)", o.Runs)
-	return classify.Table(title, cells), cells, nil
+	return o.table(title, cells), cells, nil
 }
 
 // Fig7Sequential is the pre-engine reference implementation of Fig7: cells
@@ -312,12 +335,13 @@ func Fig7Sequential(o Options) (string, []classify.Cell, error) {
 		}
 		for _, model := range Fig7Models() {
 			res, err := core.Campaign(core.CampaignConfig{
-				Fault:       core.Config{Model: model},
+				Fault:       core.Config{Model: model, Shots: o.Shots},
 				Runs:        o.Runs,
 				Seed:        o.Seed,
 				Workers:     o.Workers,
 				ArmMounts:   o.ArmMounts,
 				FreshWorlds: true,
+				Stop:        o.Stop,
 			}, w)
 			if err != nil {
 				return "", nil, fmt.Errorf("cell %s/%s: %w", cellName, model.Short(), err)
@@ -326,7 +350,7 @@ func Fig7Sequential(o Options) (string, []classify.Cell, error) {
 		}
 	}
 	title := fmt.Sprintf("Figure 7: characterization of I/O faults (%d runs per cell)", o.Runs)
-	return classify.Table(title, cells), cells, nil
+	return o.table(title, cells), cells, nil
 }
 
 // Fig8 compares the halo-mass distribution of the golden Nyx run with a

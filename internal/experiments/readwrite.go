@@ -188,9 +188,10 @@ func ReadWriteGrid(o Options) (string, []classify.Cell, error) {
 					WorldKey: cellName + "@rw-" + placement,
 					Workload: w,
 					Config: core.CampaignConfig{
-						Fault: core.Config{Model: model},
+						Fault: core.Config{Model: model, Shots: o.Shots},
 						Runs:  o.Runs,
 						Seed:  o.Seed,
+						Stop:  o.Stop,
 					},
 				})
 			}
@@ -213,5 +214,5 @@ func ReadWriteGrid(o Options) (string, []classify.Cell, error) {
 	}
 	title := fmt.Sprintf("Read-path vs write-path faults (%d runs per cell; registered models %s)",
 		o.Runs, strings.Join(shorts, "/"))
-	return classify.Table(title, cells), cells, nil
+	return o.table(title, cells), cells, nil
 }

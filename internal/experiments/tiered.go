@@ -169,10 +169,11 @@ func Tiered(cells []string, model core.Model, o Options) (string, []PlacementRes
 				WorldKey: cell + "@tiered",
 				Workload: w,
 				Config: core.CampaignConfig{
-					Fault:     core.Config{Model: model},
+					Fault:     core.Config{Model: model, Shots: o.Shots},
 					Runs:      o.Runs,
 					Seed:      o.Seed,
 					ArmMounts: mounts,
+					Stop:      o.Stop,
 				},
 			})
 		}

@@ -2,6 +2,7 @@ package results
 
 import (
 	"fmt"
+	"reflect"
 
 	"ffis/internal/core"
 )
@@ -24,6 +25,14 @@ func RunGrid(e *core.Engine, st *Store, shard Shard, specs []core.CampaignSpec) 
 	}
 	keys := make([]string, len(specs))
 	for i, spec := range specs {
+		// Adaptive stopping and sharding are statistically incoherent: the
+		// rule needs complete index prefixes to evaluate, and a shard by
+		// construction owns only every k-th index. Refuse up front rather
+		// than let the campaign's own guard fail every cell.
+		if spec.Config.Stop != nil && shard.String() != "" {
+			return nil, fmt.Errorf("results: spec %q uses adaptive stopping, which cannot run under shard %s (a shard never holds a complete run prefix)",
+				spec.Key, shard)
+		}
 		keys[i] = spec.Key
 	}
 	if err := st.ensureSpecs(keys); err != nil {
@@ -88,6 +97,10 @@ func RunGrid(e *core.Engine, st *Store, shard Shard, specs []core.CampaignSpec) 
 		spec.Config.Sink = sink
 		spec.Config.RunFilter = sink.Include
 		spec.Config.DiscardRecords = true
+		// The sink retained the persisted records' outcomes during recovery,
+		// so a resumed adaptive campaign can evaluate its stopping rule over
+		// the complete prefix despite the RunFilter skipping those indices.
+		spec.Config.PriorOutcome = sink.PriorOutcome
 		pending = append(pending, spec)
 		pendingAt = append(pendingAt, i)
 	}
@@ -128,14 +141,24 @@ func RunGrid(e *core.Engine, st *Store, shard Shard, specs []core.CampaignSpec) 
 // the built world, observable only by re-profiling, which the fast path
 // exists to skip.
 func headerMatchesSpec(h Header, spec core.CampaignSpec) error {
+	stop, err := spec.Config.NormalizedStop()
+	if err != nil {
+		return fmt.Errorf("results: spec %q: %w", spec.Key, err)
+	}
 	want := newHeader(core.CampaignMeta{
 		Workload:     spec.Workload.Name,
 		Signature:    spec.Config.Fault.Signature(),
 		ProfileCount: h.ProfileCount,
 		Runs:         spec.Config.Runs,
 		Seed:         spec.Config.Seed,
+		Stop:         stop,
 	})
-	if h != want {
+	// The stop index is the stored campaign's runtime decision, not a spec
+	// property a caller could know statically; like the profile count it is
+	// copied from the header. The rule itself still has to match, so a fixed-
+	// budget spec can never silently adopt an adaptive store or vice versa.
+	want.StopIndex = h.StopIndex
+	if !reflect.DeepEqual(h, want) {
 		return fmt.Errorf("results: spec %q: stored records are from a different campaign (stored %+v, requested %+v); use a fresh -out",
 			spec.Key, h, want)
 	}
@@ -169,6 +192,7 @@ func (d SpecData) CampaignResult() (core.CampaignResult, error) {
 		Workload:     d.Header.Workload,
 		Signature:    sig,
 		ProfileCount: d.Header.ProfileCount,
+		StopIndex:    d.Header.StopIndex,
 	}
 	for _, rec := range d.Records {
 		rr, err := rec.RunRecord()

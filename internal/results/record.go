@@ -6,6 +6,7 @@ import (
 
 	"ffis/internal/classify"
 	"ffis/internal/core"
+	"ffis/internal/stats"
 	"ffis/internal/vfs"
 )
 
@@ -28,15 +29,54 @@ type Header struct {
 	ProfileCount int64         `json:"profile_count"`
 	Runs         int           `json:"runs"`
 	Seed         uint64        `json:"seed"`
+	// Shots is the raw Signature.Shots override (0 = model default); part of
+	// the stream identity because it changes every multi-shot record.
+	Shots int `json:"shots,omitempty"`
+	// StopRule is the adaptive stopping rule the campaign ran under, nil for
+	// fixed-budget campaigns. Appended with omitempty so legacy fixed-budget
+	// headers keep their exact bytes.
+	StopRule *StopRuleRecord `json:"stop_rule,omitempty"`
+	// StopIndex is where the rule stopped the campaign: run indices [0,
+	// StopIndex) exist and nothing after them ever will. 0 for fixed-budget
+	// streams; an adaptive campaign that ran to its cap records StopIndex ==
+	// Runs. Written by the finalize-time header rewrite, so a resumed grid
+	// can tell a complete adaptive spec from one that still needs runs.
+	StopIndex int `json:"stop_index,omitempty"`
 }
 
-// FeatureRecord is the serializable form of core.Feature.
+// StopRuleRecord is the serializable form of stats.StopRule (normalized, so
+// every field is explicit and two processes resolve identical barriers).
+type StopRuleRecord struct {
+	TargetHalfWidth float64 `json:"target_half_width"`
+	MinRuns         int     `json:"min_runs"`
+	MaxRuns         int     `json:"max_runs"`
+	CheckEvery      int     `json:"check_every"`
+}
+
+// newStopRuleRecord renders a normalized stopping rule, nil in, nil out.
+func newStopRuleRecord(rule *stats.StopRule) *StopRuleRecord {
+	if rule == nil {
+		return nil
+	}
+	return &StopRuleRecord{
+		TargetHalfWidth: rule.TargetHalfWidth,
+		MinRuns:         rule.MinRuns,
+		MaxRuns:         rule.MaxRuns,
+		CheckEvery:      rule.CheckEvery,
+	}
+}
+
+// FeatureRecord is the serializable form of core.Feature. The correlated-
+// model tunables are appended with omitempty: legacy signatures leave them
+// zero, so headers written before they existed keep their exact bytes.
 type FeatureRecord struct {
-	FlipBits     int `json:"flip_bits"`
-	ShornKeepNum int `json:"shorn_keep_num"`
-	ShornKeepDen int `json:"shorn_keep_den"`
-	SectorSize   int `json:"sector_size"`
-	BlockSize    int `json:"block_size"`
+	FlipBits       int `json:"flip_bits"`
+	ShornKeepNum   int `json:"shorn_keep_num"`
+	ShornKeepDen   int `json:"shorn_keep_den"`
+	SectorSize     int `json:"sector_size"`
+	BlockSize      int `json:"block_size"`
+	BurstSectors   int `json:"burst_sectors,omitempty"`
+	MisdirectEvery int `json:"misdirect_every,omitempty"`
 }
 
 // newHeader renders campaign metadata into the persisted header form.
@@ -48,15 +88,19 @@ func newHeader(meta core.CampaignMeta) Header {
 		Model:     sig.Model.Name(),
 		Primitive: string(sig.Primitive),
 		Feature: FeatureRecord{
-			FlipBits:     sig.Feature.FlipBits,
-			ShornKeepNum: sig.Feature.ShornKeepNum,
-			ShornKeepDen: sig.Feature.ShornKeepDen,
-			SectorSize:   sig.Feature.SectorSize,
-			BlockSize:    sig.Feature.BlockSize,
+			FlipBits:       sig.Feature.FlipBits,
+			ShornKeepNum:   sig.Feature.ShornKeepNum,
+			ShornKeepDen:   sig.Feature.ShornKeepDen,
+			SectorSize:     sig.Feature.SectorSize,
+			BlockSize:      sig.Feature.BlockSize,
+			BurstSectors:   sig.Feature.BurstSectors,
+			MisdirectEvery: sig.Feature.MisdirectEvery,
 		},
 		ProfileCount: meta.ProfileCount,
 		Runs:         meta.Runs,
 		Seed:         meta.Seed,
+		Shots:        sig.Shots,
+		StopRule:     newStopRuleRecord(meta.Stop),
 	}
 }
 
@@ -72,12 +116,15 @@ func (h Header) SignatureValue() (core.Signature, error) {
 	return core.Signature{
 		Model:     m,
 		Primitive: vfs.Primitive(h.Primitive),
+		Shots:     h.Shots,
 		Feature: core.Feature{
-			FlipBits:     h.Feature.FlipBits,
-			ShornKeepNum: h.Feature.ShornKeepNum,
-			ShornKeepDen: h.Feature.ShornKeepDen,
-			SectorSize:   h.Feature.SectorSize,
-			BlockSize:    h.Feature.BlockSize,
+			FlipBits:       h.Feature.FlipBits,
+			ShornKeepNum:   h.Feature.ShornKeepNum,
+			ShornKeepDen:   h.Feature.ShornKeepDen,
+			SectorSize:     h.Feature.SectorSize,
+			BlockSize:      h.Feature.BlockSize,
+			BurstSectors:   h.Feature.BurstSectors,
+			MisdirectEvery: h.Feature.MisdirectEvery,
 		},
 	}, nil
 }
@@ -87,10 +134,14 @@ func (h Header) SignatureValue() (core.Signature, error) {
 // maps, no timestamps), which is what makes resumed and sharded campaigns
 // byte-comparable to uninterrupted ones.
 type Record struct {
-	Index    int             `json:"index"`
-	Target   int64           `json:"target"`
-	Outcome  string          `json:"outcome"`
-	Fired    bool            `json:"fired,omitempty"`
+	Index   int    `json:"index"`
+	Target  int64  `json:"target"`
+	Outcome string `json:"outcome"`
+	Fired   bool   `json:"fired,omitempty"`
+	// Shots is serialized only when more than one shot fired: the single-
+	// shot family's records (Shots == 1 whenever Fired) keep their exact
+	// legacy bytes.
+	Shots    int             `json:"shots,omitempty"`
 	RunErr   string          `json:"run_err,omitempty"`
 	Mutation *MutationRecord `json:"mutation,omitempty"`
 }
@@ -123,6 +174,9 @@ func newRecord(rec core.RunRecord) Record {
 		Target:  rec.Target,
 		Outcome: rec.Outcome.String(),
 		Fired:   rec.Fired,
+	}
+	if rec.Shots > 1 {
+		out.Shots = rec.Shots
 	}
 	if rec.RunErr != nil {
 		out.RunErr = rec.RunErr.Error()
@@ -182,6 +236,10 @@ func (r Record) RunRecord() (core.RunRecord, error) {
 		Target:  r.Target,
 		Outcome: outcome,
 		Fired:   r.Fired,
+		Shots:   r.Shots,
+	}
+	if out.Shots == 0 && r.Fired {
+		out.Shots = 1 // single-shot records omit the count
 	}
 	if r.RunErr != "" {
 		out.RunErr = StoredError{Msg: r.RunErr}

@@ -52,16 +52,16 @@ func Report(st *Store, format string) (string, error) {
 	var b strings.Builder
 	switch strings.ToLower(format) {
 	case "", "text":
-		b.WriteString(classify.Table(title, cells))
+		b.WriteString(classify.TableCI(title, cells))
 		reportFooter(&b, "", skipped)
 	case "csv":
-		b.WriteString(classify.CSV(cells))
+		b.WriteString(classify.CSVCI(cells))
 	case "json":
 		if err := core.WriteResultsJSON(&b, results); err != nil {
 			return "", err
 		}
 	case "markdown", "md":
-		b.WriteString(classify.Markdown(title, cells))
+		b.WriteString(classify.MarkdownCI(title, cells))
 		reportFooter(&b, "> ", skipped)
 	default:
 		return "", fmt.Errorf("results: unknown report format %q (want %s)",

@@ -1,10 +1,12 @@
 package results
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"reflect"
 
+	"ffis/internal/classify"
 	"ffis/internal/core"
 )
 
@@ -30,9 +32,14 @@ type SpecSink struct {
 	f         *os.File
 	header    *Header      // recovered from an existing partial, nil when fresh
 	persisted map[int]bool // run indices already on disk from a prior process
-	next      int          // lowest run index not yet skipped or written
-	pending   map[int][]byte
-	err       error
+	// outcomes retains the persisted records' classifications, so a resumed
+	// adaptive campaign can re-evaluate its stopping rule over the complete
+	// prefix (executed runs plus these) via PriorOutcome.
+	outcomes map[int]classify.Outcome
+	next     int // lowest run index not yet skipped or written
+	pending  map[int][]byte
+	stop     int // adaptive stop index reported by the campaign, 0 otherwise
+	err      error
 }
 
 // SpecSink opens a record stream for one spec: runs is the campaign's run
@@ -54,6 +61,7 @@ func (st *Store) SpecSink(key string, runs int, shard Shard) (*SpecSink, error) 
 		runs:      runs,
 		shard:     shard,
 		persisted: map[int]bool{},
+		outcomes:  map[int]classify.Outcome{},
 		pending:   map[int][]byte{},
 	}
 	sf, ok, err := st.readSpec(key, false)
@@ -88,7 +96,12 @@ func (st *Store) SpecSink(key string, runs int, shard Shard) (*SpecSink, error) 
 				return nil, fmt.Errorf("results: spec %q records are not a resumable prefix of shard %s (stored %d where index %d is next); was the store written under a different -shard?",
 					key, shard, sf.records[k].Index, idx)
 			}
+			o, err := classify.ParseOutcome(sf.records[k].Outcome)
+			if err != nil {
+				return nil, fmt.Errorf("results: spec %q record %d: %w", key, idx, err)
+			}
 			s.persisted[idx] = true
+			s.outcomes[idx] = o
 			k++
 		}
 		if k < len(sf.records) {
@@ -113,6 +126,23 @@ func (s *SpecSink) Include(idx int) bool {
 
 // Persisted returns how many of this spec's runs are already on disk.
 func (s *SpecSink) Persisted() int { return len(s.persisted) }
+
+// PriorOutcome reports the persisted outcome of a run index a prior process
+// executed: the CampaignConfig.PriorOutcome pairing of the sink, which lets
+// a resumed adaptive campaign evaluate its stopping rule over the complete
+// prefix even though Include skips the already-persisted indices.
+func (s *SpecSink) PriorOutcome(idx int) (classify.Outcome, bool) {
+	o, ok := s.outcomes[idx]
+	return o, ok
+}
+
+// RecordStop implements core.StopRecorder: the campaign reports where its
+// adaptive rule stopped, and Finalize persists the decision by rewriting the
+// header line with the stop index.
+func (s *SpecSink) RecordStop(stopIndex int) error {
+	s.stop = stopIndex
+	return nil
+}
 
 // BeginCampaign implements core.RecordSink. On a fresh stream it writes the
 // header line; on a resumed one it validates that the campaign about to run
@@ -191,9 +221,63 @@ func (s *SpecSink) Finalize() error {
 		return fmt.Errorf("results: spec %q: close: %w", s.key, err)
 	}
 	s.f = nil
+	if s.stop != 0 {
+		return s.finalizeWithStop()
+	}
 	if err := os.Rename(s.store.partialPath(s.key), s.store.finalPath(s.key)); err != nil {
 		return fmt.Errorf("results: finalize spec %q: %w", s.key, err)
 	}
+	return nil
+}
+
+// finalizeWithStop lands an adaptive campaign's stop index in the persisted
+// header: the partial's header line is re-marshalled with StopIndex set and
+// the whole stream written to a temp file that is synced and atomically
+// renamed into the final form, so the stop decision and the "complete"
+// marker become durable together. The header line is rewritten rather than
+// appended-to because the stop index is campaign identity, and identity
+// lives on line one.
+func (s *SpecSink) finalizeWithStop() error {
+	if s.header == nil {
+		return fmt.Errorf("results: spec %q: stop index %d recorded before any header", s.key, s.stop)
+	}
+	raw, err := os.ReadFile(s.store.partialPath(s.key))
+	if err != nil {
+		return fmt.Errorf("results: finalize spec %q: %w", s.key, err)
+	}
+	nl := bytes.IndexByte(raw, '\n')
+	if nl < 0 {
+		return fmt.Errorf("results: finalize spec %q: partial holds no complete header line", s.key)
+	}
+	h := *s.header
+	h.StopIndex = s.stop
+	line, err := marshalLine(h)
+	if err != nil {
+		return err
+	}
+	tmp := s.store.finalPath(s.key) + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("results: finalize spec %q: %w", s.key, err)
+	}
+	if _, err := f.Write(append(line, raw[nl+1:]...)); err != nil {
+		f.Close()
+		return fmt.Errorf("results: finalize spec %q: %w", s.key, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("results: finalize spec %q: sync: %w", s.key, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("results: finalize spec %q: close: %w", s.key, err)
+	}
+	if err := os.Rename(tmp, s.store.finalPath(s.key)); err != nil {
+		return fmt.Errorf("results: finalize spec %q: %w", s.key, err)
+	}
+	// Best-effort: the final file is authoritative from here; a crash that
+	// leaves the partial behind is harmless because loads prefer the final
+	// form and a finalized spec never opens a new sink.
+	os.Remove(s.store.partialPath(s.key))
 	return nil
 }
 
@@ -209,4 +293,7 @@ func (s *SpecSink) Close() error {
 	return err
 }
 
-var _ core.RecordSink = (*SpecSink)(nil)
+var (
+	_ core.RecordSink   = (*SpecSink)(nil)
+	_ core.StopRecorder = (*SpecSink)(nil)
+)

@@ -134,6 +134,18 @@ func (p Proportion) Wilson95() (lo, hi float64) {
 	return lo, hi
 }
 
+// WilsonHalfWidth95 returns half the width of the Wilson 95% interval: the
+// "±" figure adaptive stopping compares against StopRule.TargetHalfWidth.
+// Unlike ErrorBar95 it never collapses to zero at 0%/100% observed rates,
+// so an all-benign cell cannot satisfy a stopping rule spuriously early.
+func (p Proportion) WilsonHalfWidth95() float64 {
+	if p.Trials == 0 {
+		return 1
+	}
+	lo, hi := p.Wilson95()
+	return (hi - lo) / 2
+}
+
 // ErrorBar95 returns the half-width of the normal-approximation 95% CI,
 // the quantity the paper quotes as the "error bar" of a campaign.
 func (p Proportion) ErrorBar95() float64 {
@@ -144,7 +156,120 @@ func (p Proportion) ErrorBar95() float64 {
 	return z95 * math.Sqrt(phat*(1-phat)/float64(p.Trials))
 }
 
-// String renders the proportion as a percentage with its 95% error bar.
+// ClopperPearson95 returns the exact (conservative) 95% confidence interval
+// for the proportion, from the beta-distribution inversion. It is the
+// no-surprises companion to Wilson95 for the extreme cells: guaranteed
+// >= 95% coverage at every p and n, at the cost of being wider.
+func (p Proportion) ClopperPearson95() (lo, hi float64) {
+	if p.Trials == 0 {
+		return 0, 1
+	}
+	const alpha = 0.05
+	k, n := float64(p.Successes), float64(p.Trials)
+	lo, hi = 0, 1
+	if p.Successes > 0 {
+		lo = betaQuantile(alpha/2, k, n-k+1)
+	}
+	if p.Successes < p.Trials {
+		hi = betaQuantile(1-alpha/2, k+1, n-k)
+	}
+	return lo, hi
+}
+
+// betaQuantile inverts the regularized incomplete beta function I_x(a, b)
+// by bisection: the smallest x with I_x(a, b) >= q. Fifty halvings pin x to
+// ~1e-15, far below any campaign-relevant precision.
+func betaQuantile(q, a, b float64) float64 {
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 50; i++ {
+		mid := (lo + hi) / 2
+		if regIncBeta(a, b, mid) < q {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a, b)
+// with the standard continued-fraction expansion (Numerical Recipes 6.4),
+// using the symmetry relation to keep the fraction in its fast-converging
+// region.
+func regIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(lbeta + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betaCF evaluates the continued fraction of the incomplete beta function
+// by the modified Lentz method.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		tiny    = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// String renders the proportion as a percentage with its Wilson 95%
+// interval. The normal-approximation bar that used to render here is
+// misleading at the 0%/100% cells the Wilson docs call out (it collapses to
+// ±0.0%); ErrorBar95 stays available for the paper-parity report column.
 func (p Proportion) String() string {
-	return fmt.Sprintf("%.1f%% ±%.1f%%", 100*p.P(), 100*p.ErrorBar95())
+	lo, hi := p.Wilson95()
+	return fmt.Sprintf("%.1f%% [%.1f%%, %.1f%%]", 100*p.P(), 100*lo, 100*hi)
 }

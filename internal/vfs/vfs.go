@@ -50,6 +50,10 @@ var (
 	// core's UnreadableSector fault model surfaces it through the armed read
 	// path; applications test for it with errors.Is like the other sentinels.
 	ErrUnreadable = errors.New("vfs: unreadable sector (EIO)")
+	// ErrDeviceFailed is the EIO of a device that dropped off the bus
+	// entirely: from some operation onward every read and write fails.
+	// core's DeviceFailure fault model surfaces it on the armed mount.
+	ErrDeviceFailed = errors.New("vfs: device failed (EIO)")
 )
 
 // FileInfo describes a file or directory.
