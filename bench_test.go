@@ -11,6 +11,7 @@
 package ffis
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -353,6 +354,38 @@ func BenchmarkMemFSClone(b *testing.B) {
 		if fs.Clone() == nil {
 			b.Fatal("nil clone")
 		}
+	}
+}
+
+// BenchmarkCloneFirstWrite measures the full COW divergence cost: Clone a
+// world holding one large file, then perform a single 4 KiB first write on
+// the clone. With extent-backed storage the write copies only the touched
+// block, so ns/op must stay flat as the file grows — O(bytes written), not
+// O(file size).
+func BenchmarkCloneFirstWrite(b *testing.B) {
+	for _, mib := range []int{1, 16, 64} {
+		mib := mib
+		b.Run(fmt.Sprintf("%dMiB", mib), func(b *testing.B) {
+			fs := vfs.NewMemFS()
+			if err := vfs.WriteFile(fs, "/big", make([]byte, mib<<20)); err != nil {
+				b.Fatal(err)
+			}
+			buf := make([]byte, 4096)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := fs.Clone()
+				f, err := c.Append("/big")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := f.WriteAt(buf, 0); err != nil {
+					b.Fatal(err)
+				}
+				if err := f.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -28,11 +28,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"ffis/internal/core"
 	"ffis/internal/experiments"
 	"ffis/internal/stats"
+	"ffis/internal/vfs"
 )
 
 // point is one trajectory sample. Times are integer milliseconds: coarse
@@ -53,6 +55,13 @@ type point struct {
 	MT4CowMS         int64 `json:"mt4_campaign_cow_ms"`
 	MT4FreshMS       int64 `json:"mt4_campaign_fresh_ms"`
 
+	// Clone + one 4 KiB first write against file size: with extent-backed
+	// COW the two numbers stay within the same order of magnitude — the
+	// divergence cost is O(bytes written), not O(file size). omitempty
+	// keeps points written before the metric existed decodable as zero.
+	CloneWrite1MiBUS  int64 `json:"cow_clone_write4k_1mib_us,omitempty"`
+	CloneWrite64MiBUS int64 `json:"cow_clone_write4k_64mib_us,omitempty"`
+
 	Adaptive adaptivePoint `json:"adaptive"`
 }
 
@@ -69,14 +78,16 @@ type adaptivePoint struct {
 
 func main() {
 	var (
-		out    = flag.String("out", "BENCH_grid.json", "trajectory file to append to")
-		runs   = flag.Int("runs", 24, "runs per grid cell for the timing measurements")
-		seed   = flag.Uint64("seed", 2021, "campaign seed")
-		nyxN   = flag.Int("nyx-n", 24, "Nyx grid edge for the timing measurements")
-		target = flag.Float64("adaptive", 0.02, "target Wilson half-width for the runs-saved measurement")
-		budget = flag.Int("budget", 1000, "fixed run budget the adaptive campaign is measured against")
-		note   = flag.String("note", "", "free-form annotation stored with the point")
-		dry    = flag.Bool("dry-run", false, "print the measured point without touching -out")
+		out     = flag.String("out", "BENCH_grid.json", "trajectory file to append to")
+		runs    = flag.Int("runs", 24, "runs per grid cell for the timing measurements")
+		seed    = flag.Uint64("seed", 2021, "campaign seed")
+		nyxN    = flag.Int("nyx-n", 24, "Nyx grid edge for the timing measurements")
+		target  = flag.Float64("adaptive", 0.02, "target Wilson half-width for the runs-saved measurement")
+		budget  = flag.Int("budget", 1000, "fixed run budget the adaptive campaign is measured against")
+		note    = flag.String("note", "", "free-form annotation stored with the point")
+		dry     = flag.Bool("dry-run", false, "print the measured point without touching -out")
+		check   = flag.Bool("check", false, "fail (exit 1) when the fresh point regresses more than -max-regress against the last entry in -out")
+		regress = flag.Float64("max-regress", 0.30, "fractional regression of fig7_grid_engine_ms or mt4_campaign_cow_ms tolerated by -check")
 	)
 	flag.Parse()
 
@@ -98,6 +109,16 @@ func main() {
 		die(err)
 	}
 	fmt.Printf("%s\n", enc)
+	if *check {
+		prior, err := loadPoints(*out)
+		if err != nil && !os.IsNotExist(err) {
+			die(err)
+		}
+		if err := checkRegression(prior, p, *regress); err != nil {
+			die(err)
+		}
+		fmt.Printf("within %d%% of the last committed point\n", int(*regress*100))
+	}
 	if *dry {
 		return
 	}
@@ -105,6 +126,43 @@ func main() {
 		die(err)
 	}
 	fmt.Printf("appended to %s\n", *out)
+}
+
+// checkRegression compares the fresh point against the newest prior entry
+// on the two hot-path wall times the ROADMAP trajectory gates: the Figure 7
+// engine grid and the MT4 COW campaign. A fresh time more than frac above
+// the committed one fails, so the trajectory is enforced in CI, not just
+// recorded. Prior points missing a metric (older schema, zero value) are
+// not compared on it.
+func checkRegression(prior []json.RawMessage, p point, frac float64) error {
+	if len(prior) == 0 {
+		return nil
+	}
+	var last point
+	if err := json.Unmarshal(prior[len(prior)-1], &last); err != nil {
+		return fmt.Errorf("last committed point does not parse: %w", err)
+	}
+	var bad []string
+	for _, m := range []struct {
+		name       string
+		last, this int64
+	}{
+		{"fig7_grid_engine_ms", last.Fig7EngineMS, p.Fig7EngineMS},
+		{"mt4_campaign_cow_ms", last.MT4CowMS, p.MT4CowMS},
+	} {
+		if m.last <= 0 {
+			continue
+		}
+		if limit := float64(m.last) * (1 + frac); float64(m.this) > limit {
+			bad = append(bad, fmt.Sprintf("%s: %d ms vs committed %d ms (limit %.0f ms)",
+				m.name, m.this, m.last, limit))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("performance regression beyond %d%%:\n  %s",
+			int(frac*100), strings.Join(bad, "\n  "))
+	}
+	return nil
 }
 
 // measure runs the reduced grid and campaign configurations and times them.
@@ -131,20 +189,47 @@ func measure(runs int, seed uint64, nyxN int, target float64, budget int) (point
 	if err != nil {
 		return p, fmt.Errorf("MT4 workload: %w", err)
 	}
+	// The MT4 campaign wall times are tens of milliseconds — a one-shot
+	// timing sits on the scheduler's noise floor and would trip the -check
+	// gate on transient load. Take the minimum of three repetitions (the
+	// usual "how fast can this code go" estimator); the seconds-long grid
+	// times above are stable enough single-shot.
+	const mtReps = 3
 	for _, fresh := range []bool{false, true} {
-		t0 = time.Now()
-		if _, err := core.Campaign(core.CampaignConfig{
-			Fault:       core.Config{Model: core.BitFlip},
-			Runs:        runs,
-			Seed:        seed,
-			FreshWorlds: fresh,
-		}, w); err != nil {
-			return p, fmt.Errorf("MT4 campaign (fresh=%v): %w", fresh, err)
+		var best int64
+		for r := 0; r < mtReps; r++ {
+			t0 = time.Now()
+			if _, err := core.Campaign(core.CampaignConfig{
+				Fault:       core.Config{Model: core.BitFlip},
+				Runs:        runs,
+				Seed:        seed,
+				FreshWorlds: fresh,
+			}, w); err != nil {
+				return p, fmt.Errorf("MT4 campaign (fresh=%v): %w", fresh, err)
+			}
+			if ms := time.Since(t0).Milliseconds(); r == 0 || ms < best {
+				best = ms
+			}
 		}
 		if fresh {
-			p.MT4FreshMS = time.Since(t0).Milliseconds()
+			p.MT4FreshMS = best
 		} else {
-			p.MT4CowMS = time.Since(t0).Milliseconds()
+			p.MT4CowMS = best
+		}
+	}
+
+	// COW divergence cost vs file size: Clone a world holding one large
+	// file, then write 4 KiB into the clone. Extent-backed storage keeps
+	// the two sizes comparable (only the touched block is copied).
+	for _, mib := range []int{1, 64} {
+		us, err := cloneFirstWriteUS(mib)
+		if err != nil {
+			return p, fmt.Errorf("clone+first-write %dMiB: %w", mib, err)
+		}
+		if mib == 1 {
+			p.CloneWrite1MiBUS = us
+		} else {
+			p.CloneWrite64MiBUS = us
 		}
 	}
 
@@ -172,20 +257,52 @@ func measure(runs int, seed uint64, nyxN int, target float64, budget int) (point
 	return p, nil
 }
 
+// cloneFirstWriteUS times MemFS.Clone plus one 4 KiB write on the clone,
+// averaged over enough iterations to be stable at microsecond scale.
+func cloneFirstWriteUS(mib int) (int64, error) {
+	fs := vfs.NewMemFS()
+	if err := vfs.WriteFile(fs, "/big", make([]byte, mib<<20)); err != nil {
+		return 0, err
+	}
+	buf := make([]byte, 4096)
+	const iters = 64
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		c := fs.Clone()
+		f, err := c.Append("/big")
+		if err != nil {
+			return 0, err
+		}
+		if _, err := f.WriteAt(buf, 0); err != nil {
+			return 0, err
+		}
+		if err := f.Close(); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(t0).Microseconds() / iters, nil
+}
+
+// loadPoints reads the JSON point array at path as raw messages. A missing
+// file returns the os.IsNotExist error with a nil slice.
+func loadPoints(path string) ([]json.RawMessage, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var prior []json.RawMessage
+	if err := json.Unmarshal(raw, &prior); err != nil {
+		return nil, fmt.Errorf("benchgrid: %s is not a JSON array of points: %w", path, err)
+	}
+	return prior, nil
+}
+
 // appendPoint appends p to the JSON array at path, creating the file if
 // absent. Prior points pass through as raw JSON so points written under an
 // older schema are preserved rather than re-parsed and stripped.
 func appendPoint(path string, p point) error {
-	var prior []json.RawMessage
-	raw, err := os.ReadFile(path)
-	switch {
-	case err == nil:
-		if err := json.Unmarshal(raw, &prior); err != nil {
-			return fmt.Errorf("benchgrid: %s is not a JSON array of points: %w", path, err)
-		}
-	case os.IsNotExist(err):
-		// first point: start a fresh array
-	default:
+	prior, err := loadPoints(path)
+	if err != nil && !os.IsNotExist(err) {
 		return err
 	}
 	enc, err := json.Marshal(p)

@@ -87,3 +87,46 @@ func TestAppendPointRejectsNonArray(t *testing.T) {
 		t.Fatalf("corrupt file was modified: %s", raw)
 	}
 }
+
+// TestCheckRegression: the CI gate compares the fresh point's gated wall
+// times against the newest committed entry and tolerates -max-regress.
+func TestCheckRegression(t *testing.T) {
+	mk := func(engine, cow int64) json.RawMessage {
+		raw, err := json.Marshal(point{Fig7EngineMS: engine, MT4CowMS: cow})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	cases := []struct {
+		name    string
+		prior   []json.RawMessage
+		fresh   point
+		wantErr bool
+	}{
+		{"no history", nil, point{Fig7EngineMS: 9999, MT4CowMS: 9999}, false},
+		{"within threshold", []json.RawMessage{mk(2000, 70)}, point{Fig7EngineMS: 2500, MT4CowMS: 90}, false},
+		{"faster is fine", []json.RawMessage{mk(2000, 70)}, point{Fig7EngineMS: 900, MT4CowMS: 30}, false},
+		{"engine regressed", []json.RawMessage{mk(2000, 70)}, point{Fig7EngineMS: 2700, MT4CowMS: 70}, true},
+		{"cow regressed", []json.RawMessage{mk(2000, 70)}, point{Fig7EngineMS: 2000, MT4CowMS: 100}, true},
+		{"only newest entry gates", []json.RawMessage{mk(100, 5), mk(2000, 70)}, point{Fig7EngineMS: 2500, MT4CowMS: 80}, false},
+		{"zero metric in history skipped", []json.RawMessage{mk(0, 0)}, point{Fig7EngineMS: 9999, MT4CowMS: 9999}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := checkRegression(tc.prior, tc.fresh, 0.30)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("checkRegression = %v, wantErr %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestCheckRegressionRejectsCorruptHistory: a last entry that does not
+// parse must fail the gate loudly rather than passing by default.
+func TestCheckRegressionRejectsCorruptHistory(t *testing.T) {
+	prior := []json.RawMessage{json.RawMessage(`"not a point"`)}
+	if err := checkRegression(prior, point{}, 0.30); err == nil {
+		t.Fatal("corrupt history accepted")
+	}
+}

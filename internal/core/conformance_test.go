@@ -443,3 +443,84 @@ func TestConformanceDeterministicMutation(t *testing.T) {
 		}
 	}
 }
+
+// TestConformanceAllocFreePassThrough pins the hot-path allocation
+// discipline the campaign engine's throughput rests on: an armed-but-not-
+// yet-fired injector op and a profiled (CountingFS) op must not allocate.
+// The injector's miss path is a single atomic add on the dynamic count;
+// the profiler's bump is a single atomic add into a fixed counter array.
+// Any model or wrapper change that puts an allocation (or a lock-induced
+// escape) on these paths fails here rather than showing up as a campaign
+// slowdown.
+func TestConformanceAllocFreePassThrough(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	buf := make([]byte, 4096)
+	rd := make([]byte, 4096)
+
+	openHandles := func(fs vfs.FS) (vfs.File, vfs.File) {
+		t.Helper()
+		w, err := fs.Create("/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.WriteAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+		r, err := fs.Open("/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w, r
+	}
+
+	assertZero := func(name string, fn func()) {
+		t.Helper()
+		if allocs := testing.AllocsPerRun(200, fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", name, allocs)
+		}
+	}
+
+	// Armed injector, target far beyond the op count: every op is a miss
+	// and must stay a pure pass-through.
+	for _, m := range AllModels() {
+		sig := Signature{Model: m, Primitive: m.Hosts()[0]}
+		inj := NewInjector(sig, 1<<40, stats.NewRNG(1))
+		fs := inj.Wrap(vfs.NewMemFS())
+		w, r := openHandles(fs)
+		assertZero(m.Name()+"/armed WriteAt", func() {
+			if _, err := w.WriteAt(buf, 0); err != nil {
+				t.Fatal(err)
+			}
+		})
+		assertZero(m.Name()+"/armed ReadAt", func() {
+			if _, err := r.ReadAt(rd, 0); err != nil {
+				t.Fatal(err)
+			}
+		})
+		w.Close()
+		r.Close()
+	}
+
+	// Profiled ops: the counting layer adds one atomic add, nothing else.
+	cfs := vfs.NewCountingFS(vfs.NewMemFS())
+	w, r := openHandles(cfs)
+	defer w.Close()
+	defer r.Close()
+	assertZero("counting WriteAt", func() {
+		if _, err := w.WriteAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	assertZero("counting ReadAt", func() {
+		if _, err := r.ReadAt(rd, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	assertZero("counting Stat", func() {
+		if _, err := cfs.Stat("/f"); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that this binary was built with the race detector;
+// allocation-count assertions are skipped there because instrumentation
+// changes the allocation profile.
+const raceEnabled = true

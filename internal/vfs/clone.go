@@ -18,19 +18,38 @@ type Cloner interface {
 }
 
 // Clone returns a copy-on-write snapshot of the file system. The namespace
-// (the node table) is copied eagerly — O(number of entries) — while file
-// contents are shared structurally: both trees reference the same data
-// slices until one of them writes, at which point the writer copies the
-// node's bytes (see memNode.ensureOwned). Open handles on the receiver keep
-// addressing the receiver's nodes; the clone starts with no open handles.
+// (the node table) and each node's block table are copied eagerly — O(node
+// count + total extent count) pointer work, no content bytes — while the
+// extents themselves are shared structurally: every block of every
+// snapshotted node is sealed (made immutable), and from then on a write in
+// either tree copies just the sealed blocks it touches into private
+// replacements (memNode.ownBlock), leaving every untouched extent shared.
+// Divergence therefore costs O(changed data), not O(file size).
+//
+// Each node is sealed and copied under its own lock, so a clone taken
+// while another goroutine writes through an open handle observes each node
+// either entirely before or entirely after that write — never a torn
+// state — and post-clone writes on either side stay invisible to the
+// other. Open handles on the receiver keep addressing the receiver's
+// nodes; the clone starts with no open handles.
 func (m *MemFS) Clone() *MemFS {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	nodes := make(map[string]*memNode, len(m.nodes))
 	for p, n := range m.nodes {
 		n.mu.Lock()
-		n.shared = true
-		nodes[p] = &memNode{data: n.data, mode: n.mode, isDir: n.isDir, dev: n.dev, shared: true}
+		for _, b := range n.blocks {
+			if b != nil {
+				b.sealed.Store(true)
+			}
+		}
+		nodes[p] = &memNode{
+			size:   n.size,
+			blocks: append([]*memBlock(nil), n.blocks...),
+			mode:   n.mode,
+			isDir:  n.isDir,
+			dev:    n.dev,
+		}
 		n.mu.Unlock()
 	}
 	return &MemFS{nodes: nodes}

@@ -307,3 +307,136 @@ func TestMemFSCloneConcurrent(t *testing.T) {
 		t.Fatal("concurrent clone traffic mutated the original")
 	}
 }
+
+// TestMemFSCloneSharesUntouchedBlocks asserts the O(changed data) COW
+// contract structurally: after a clone, both trees reference the same
+// extent objects; a write in the clone replaces only the touched block
+// there, leaving every other extent — and all of the parent's — shared.
+func TestMemFSCloneSharesUntouchedBlocks(t *testing.T) {
+	m := NewMemFS()
+	const nblocks = 16
+	if err := WriteFile(m, "/big", bytes.Repeat([]byte{7}, nblocks*BlockSize)); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Clone()
+	pn, cn := m.nodes["/big"], c.nodes["/big"]
+	for i := 0; i < nblocks; i++ {
+		if pn.blocks[i] != cn.blocks[i] {
+			t.Fatalf("block %d not shared right after clone", i)
+		}
+		if !pn.blocks[i].sealed.Load() {
+			t.Fatalf("block %d not sealed by clone", i)
+		}
+	}
+	// One 4 KiB write into block 5 of the clone.
+	f, err := c.Append("/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(make([]byte, 4096), int64(5*BlockSize+100)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	for i := 0; i < nblocks; i++ {
+		shared := pn.blocks[i] == cn.blocks[i]
+		if i == 5 && shared {
+			t.Fatal("written block still shared: the write mutated a sealed extent")
+		}
+		if i != 5 && !shared {
+			t.Fatalf("untouched block %d was copied: COW is not O(changed data)", i)
+		}
+	}
+	if cn.blocks[5].sealed.Load() {
+		t.Fatal("clone's private replacement block is sealed")
+	}
+	if !pn.blocks[5].sealed.Load() {
+		t.Fatal("parent's block lost its seal")
+	}
+}
+
+// TestMemFSCloneWhileWriting clones a tree while a writer goroutine keeps
+// mutating the lower half of a file through an open handle, and proves
+// neither tree ever observes the other's writes: each clone is frozen (two
+// reads of it agree even as the parent keeps changing), clone-side writes
+// to the upper half never reach the parent, and the parent's upper half
+// stays pristine throughout. Run under -race this doubles as the data-race
+// proof for the per-block seal protocol.
+func TestMemFSCloneWhileWriting(t *testing.T) {
+	const (
+		blocks = 8
+		half   = blocks / 2 * BlockSize
+	)
+	m := NewMemFS()
+	if err := WriteFile(m, "/f", make([]byte, blocks*BlockSize)); err != nil {
+		t.Fatal(err)
+	}
+	w, err := m.Append("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 4096)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for j := range buf {
+				buf[j] = byte(i + j)
+			}
+			off := int64((i * 8191) % (half - len(buf)))
+			if _, err := w.WriteAt(buf, off); err != nil {
+				t.Errorf("writer: %v", err)
+				return
+			}
+		}
+	}()
+
+	mark := bytes.Repeat([]byte{0xFF}, 4096)
+	for i := 0; i < 40; i++ {
+		c := m.Clone()
+		a, err := ReadFile(c, "/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ReadFile(c, "/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatal("clone content changed after the snapshot was taken")
+		}
+		// Divergent write into the clone's upper half; the parent writer
+		// never touches that region, so any leak is detectable below.
+		f, err := c.Append("/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt(mark, int64(half+i*4096)); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		got, err := ReadFile(c, "/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got[half+i*4096:half+(i+1)*4096], mark) {
+			t.Fatal("clone write not visible in the clone")
+		}
+	}
+	close(stop)
+	<-done
+	w.Close()
+
+	got, err := ReadFile(m, "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[half:], make([]byte, half)) {
+		t.Fatal("a clone's write leaked into the parent")
+	}
+}

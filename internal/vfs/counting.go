@@ -2,7 +2,6 @@ package vfs
 
 import (
 	"sort"
-	"sync"
 	"sync/atomic"
 )
 
@@ -28,7 +27,46 @@ const (
 	PrimReadDir  Primitive = "readdir"
 )
 
-// Primitives lists every primitive name in a stable order.
+// numPrimitives is the size of the closed primitive vocabulary; it indexes
+// the CountingFS counter array.
+const numPrimitives = 12
+
+// primIndex maps a primitive to its dense index in Primitives() order, or
+// -1 for a name outside the vocabulary. The switch compiles to a cheap
+// length-then-compare dispatch, so the profiler's hot path never touches a
+// map or a lock.
+func primIndex(p Primitive) int {
+	switch p {
+	case PrimWrite:
+		return 0
+	case PrimRead:
+		return 1
+	case PrimCreate:
+		return 2
+	case PrimOpen:
+		return 3
+	case PrimMknod:
+		return 4
+	case PrimChmod:
+		return 5
+	case PrimMkdir:
+		return 6
+	case PrimRemove:
+		return 7
+	case PrimRename:
+		return 8
+	case PrimTruncate:
+		return 9
+	case PrimStat:
+		return 10
+	case PrimReadDir:
+		return 11
+	}
+	return -1
+}
+
+// Primitives lists every primitive name in a stable order (the primIndex
+// order).
 func Primitives() []Primitive {
 	return []Primitive{
 		PrimWrite, PrimRead, PrimCreate, PrimOpen, PrimMknod, PrimChmod,
@@ -40,44 +78,34 @@ func Primitives() []Primitive {
 // It implements the paper's I/O profiler: "the I/O profiler instruments the
 // primitive inside the FUSE and executes the application fault-free to
 // obtain the total count".
+//
+// The counters live in a fixed array indexed by primitive — the vocabulary
+// is closed, so there is nothing to register dynamically — and every
+// operation on them is a plain atomic: the profiler adds one uncontended
+// atomic add per primitive execution and no locks, allocations, or map
+// lookups to the hot path.
 type CountingFS struct {
-	inner FS
-
-	mu     sync.Mutex
-	counts map[Primitive]*int64
+	inner  FS
+	counts [numPrimitives]atomic.Int64
 }
 
 // NewCountingFS wraps inner with per-primitive counters.
 func NewCountingFS(inner FS) *CountingFS {
-	c := &CountingFS{inner: inner, counts: map[Primitive]*int64{}}
-	for _, p := range Primitives() {
-		var v int64
-		c.counts[p] = &v
-	}
-	return c
+	return &CountingFS{inner: inner}
 }
 
 func (c *CountingFS) bump(p Primitive) {
-	c.mu.Lock()
-	ctr, ok := c.counts[p]
-	if !ok {
-		var v int64
-		ctr = &v
-		c.counts[p] = ctr
+	if i := primIndex(p); i >= 0 {
+		c.counts[i].Add(1)
 	}
-	c.mu.Unlock()
-	atomic.AddInt64(ctr, 1)
 }
 
 // Count returns how many times primitive p executed so far.
 func (c *CountingFS) Count(p Primitive) int64 {
-	c.mu.Lock()
-	ctr, ok := c.counts[p]
-	c.mu.Unlock()
-	if !ok {
-		return 0
+	if i := primIndex(p); i >= 0 {
+		return c.counts[i].Load()
 	}
-	return atomic.LoadInt64(ctr)
+	return 0
 }
 
 // Census returns a snapshot of all counters, sorted by primitive name.
@@ -85,17 +113,16 @@ func (c *CountingFS) Census() []struct {
 	Primitive Primitive
 	Count     int64
 } {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	prims := Primitives()
 	out := make([]struct {
 		Primitive Primitive
 		Count     int64
-	}, 0, len(c.counts))
-	for p, ctr := range c.counts {
-		out = append(out, struct {
+	}, len(prims))
+	for i, p := range prims {
+		out[i] = struct {
 			Primitive Primitive
 			Count     int64
-		}{p, atomic.LoadInt64(ctr)})
+		}{p, c.counts[i].Load()}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Primitive < out[j].Primitive })
 	return out
@@ -103,10 +130,8 @@ func (c *CountingFS) Census() []struct {
 
 // Reset zeroes every counter.
 func (c *CountingFS) Reset() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, ctr := range c.counts {
-		atomic.StoreInt64(ctr, 0)
+	for i := range c.counts {
+		c.counts[i].Store(0)
 	}
 }
 

@@ -121,6 +121,39 @@ func TestPrimitivesStable(t *testing.T) {
 	}
 }
 
+// BenchmarkCountingFSWriteAt measures the full profiled hot path: one
+// counted 4 KiB pwrite through CountingFS onto MemFS. The profiling pass
+// runs every workload op through bump(), so this is the per-op overhead
+// the campaign engine pays once per primitive execution.
+func BenchmarkCountingFSWriteAt(b *testing.B) {
+	fs := NewCountingFS(NewMemFS())
+	f, err := fs.Create("/bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.WriteAt(buf, int64(i%1024)*4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCountingBump isolates the counter increment itself, without the
+// backing write: the cost added to every primitive beyond what the bare FS
+// charges.
+func BenchmarkCountingBump(b *testing.B) {
+	fs := NewCountingFS(NewMemFS())
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			fs.bump(PrimWrite)
+		}
+	})
+}
+
 // TestCountingSkipsZeroLengthTransfers pins the profiler/injector contract:
 // the profiled count defines the injection target space, and the injector
 // never claims an empty transfer, so zero-length writes and reads must not

@@ -33,6 +33,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Sentinel errors. ErrNotExist and ErrExist alias the stdlib io/fs errors so
@@ -191,26 +192,175 @@ func Walk(fsys FS, root string, fn func(p string, info FileInfo) error) error {
 	return nil
 }
 
-// memNode is a single entry (file or directory) in a MemFS tree.
-type memNode struct {
-	mu    sync.RWMutex
-	data  []byte
-	mode  uint32
-	isDir bool
-	dev   uint64 // mknod device number; kept so metadata faults have a target
-	// shared marks data as structurally shared with Clone()d trees: the
-	// slice must be replaced, never mutated in place. Cleared by ensureOwned
-	// on the first write after a clone.
-	shared bool
+// BlockSize is the extent granularity of MemFS file storage: content is
+// held as a table of fixed-size blocks, and copy-on-write after a Clone
+// operates per block. 64 KiB matches the transfer sizes of the paper's
+// workloads closely enough that a first write after a clone touches one or
+// two blocks, never the whole file.
+const BlockSize = 64 << 10
+
+// memBlock is one extent of file content. data holds the materialized
+// bytes of the block (len(data) <= BlockSize); logical bytes past
+// len(data) — and entire nil table entries — read as zero, so sparse
+// regions and truncate-grown tails cost nothing until written.
+//
+// sealed marks the block immutable: Clone seals every block of every node
+// it snapshots, after which the block may be referenced from any number of
+// trees and its bytes must never change again. A writer that lands on a
+// sealed block copies it into a fresh private block first (see
+// memNode.ownBlock) — the per-extent copy-before-write that replaced the
+// old whole-file ensureOwned. Sealing is monotonic (false→true once,
+// never cleared), so concurrent readers in other trees can check it with
+// a plain atomic load while holding only their own node's lock.
+type memBlock struct {
+	sealed atomic.Bool
+	data   []byte
 }
 
-// ensureOwned gives the node private backing storage ahead of an in-place
-// mutation. Callers hold n.mu for writing. Only the first mutation after a
-// Clone pays the copy; reads and untouched nodes stay zero-copy.
-func (n *memNode) ensureOwned() {
-	if n.shared {
-		n.data = append([]byte(nil), n.data...)
-		n.shared = false
+// memNode is a single entry (file or directory) in a MemFS tree. File
+// content is size plus a block table; the table slice is private to the
+// node (Clone copies it), while the blocks it points at may be sealed and
+// shared across trees.
+type memNode struct {
+	mu     sync.RWMutex
+	size   int64
+	blocks []*memBlock
+	mode   uint32
+	isDir  bool
+	dev    uint64 // mknod device number; kept so metadata faults have a target
+}
+
+// blockCount returns how many table entries a file of the given size needs.
+func blockCount(size int64) int {
+	return int((size + BlockSize - 1) / BlockSize)
+}
+
+// blockLen returns the valid in-block length of block bi under the node's
+// current size: BlockSize for interior blocks, the remainder for the tail.
+// Caller holds n.mu.
+func (n *memNode) blockLen(bi int) int {
+	l := n.size - int64(bi)*BlockSize
+	if l > BlockSize {
+		l = BlockSize
+	}
+	return int(l)
+}
+
+// readAt copies content at off into p, zero-filling holes (nil blocks and
+// bytes past a block's materialized prefix). Caller holds n.mu for reading.
+func (n *memNode) readAt(p []byte, off int64) (int, error) {
+	if off >= n.size {
+		return 0, io.EOF
+	}
+	total := 0
+	for total < len(p) && off < n.size {
+		bi := int(off / BlockSize)
+		bo := int(off % BlockSize)
+		want := n.blockLen(bi) - bo
+		if rem := len(p) - total; want > rem {
+			want = rem
+		}
+		dst := p[total : total+want]
+		copied := 0
+		if b := n.blocks[bi]; b != nil && bo < len(b.data) {
+			copied = copy(dst, b.data[bo:])
+		}
+		clear(dst[copied:])
+		total += want
+		off += int64(want)
+	}
+	if total < len(p) {
+		return total, io.EOF
+	}
+	return total, nil
+}
+
+// write copies p into the node at off, growing the file as needed. Only
+// the blocks the write actually touches are materialized or copied, so the
+// first write after a Clone costs O(touched extents), not O(file size).
+// Caller holds n.mu for writing.
+func (n *memNode) write(p []byte, off int64) {
+	if end := off + int64(len(p)); end > n.size {
+		n.grow(end)
+	}
+	for len(p) > 0 {
+		bi := int(off / BlockSize)
+		bo := int(off % BlockSize)
+		nc := copy(n.ownBlock(bi)[bo:], p)
+		p = p[nc:]
+		off += int64(nc)
+	}
+}
+
+// ownBlock returns block bi's bytes, private to this node and materialized
+// to the block's full valid length: zero extents are allocated, sealed
+// (clone-shared) blocks are copied, and an owned block whose materialized
+// prefix is shorter than the file now requires is extended with zeros.
+// Caller holds n.mu for writing.
+func (n *memNode) ownBlock(bi int) []byte {
+	bl := n.blockLen(bi)
+	b := n.blocks[bi]
+	switch {
+	case b == nil:
+		b = &memBlock{data: make([]byte, bl)}
+		n.blocks[bi] = b
+	case b.sealed.Load():
+		data := make([]byte, bl)
+		copy(data, b.data)
+		b = &memBlock{data: data}
+		n.blocks[bi] = b
+	case len(b.data) < bl:
+		if cap(b.data) >= bl {
+			// Reslicing may expose bytes left over from before a shrink;
+			// the logical content there is zero, so clear them.
+			old := len(b.data)
+			b.data = b.data[:bl]
+			clear(b.data[old:])
+		} else {
+			data := make([]byte, bl)
+			copy(data, b.data)
+			b.data = data
+		}
+	}
+	return b.data
+}
+
+// grow extends the file to size without materializing anything: new table
+// entries are nil (all-zero) extents. Caller holds n.mu for writing.
+func (n *memNode) grow(size int64) {
+	n.size = size
+	for nb := blockCount(size); len(n.blocks) < nb; {
+		n.blocks = append(n.blocks, nil)
+	}
+}
+
+// truncate resizes the node. Shrinking drops whole blocks past the new end
+// and trims the new tail block — copying it when sealed, since a shared
+// block's bytes (including its slice header) must never change; growing is
+// the zero-materialization grow path. Caller holds n.mu for writing.
+func (n *memNode) truncate(size int64) {
+	switch {
+	case size < n.size:
+		n.blocks = n.blocks[:blockCount(size)]
+		n.size = size
+		if len(n.blocks) == 0 {
+			return
+		}
+		bi := len(n.blocks) - 1
+		b := n.blocks[bi]
+		bl := n.blockLen(bi)
+		if b == nil || len(b.data) <= bl {
+			return
+		}
+		if b.sealed.Load() {
+			data := make([]byte, bl)
+			copy(data, b.data)
+			n.blocks[bi] = &memBlock{data: data}
+		} else {
+			b.data = b.data[:bl]
+		}
+	case size > n.size:
+		n.grow(size)
 	}
 }
 
@@ -273,13 +423,9 @@ func (m *MemFS) Create(name string) (File, error) {
 			return nil, &PathError{Op: "create", Path: name, Err: ErrIsDir}
 		}
 		n.mu.Lock()
-		if n.shared {
-			// Truncating to zero never needs the old bytes: drop the shared
-			// backing instead of copying it.
-			n.data, n.shared = nil, false
-		} else {
-			n.data = n.data[:0]
-		}
+		// Truncating to zero never needs the old bytes: drop the block
+		// table outright (sealed blocks are simply dereferenced).
+		n.size, n.blocks = 0, nil
 		n.mu.Unlock()
 		return &memFile{name: name, node: n, writable: true}, nil
 	}
@@ -320,7 +466,7 @@ func (m *MemFS) Append(name string) (File, error) {
 		return nil, &PathError{Op: "append", Path: name, Err: ErrIsDir}
 	}
 	n.mu.RLock()
-	off := int64(len(n.data))
+	off := n.size
 	n.mu.RUnlock()
 	return &memFile{name: name, node: n, writable: true, off: off}, nil
 }
@@ -456,7 +602,7 @@ func (m *MemFS) Stat(name string) (FileInfo, error) {
 	defer n.mu.RUnlock()
 	return FileInfo{
 		Name:  path.Base(name),
-		Size:  int64(len(n.data)),
+		Size:  n.size,
 		Mode:  n.mode,
 		IsDir: n.isDir,
 	}, nil
@@ -490,7 +636,7 @@ func (m *MemFS) ReadDir(name string) ([]FileInfo, error) {
 		child.mu.RLock()
 		out = append(out, FileInfo{
 			Name:  rest,
-			Size:  int64(len(child.data)),
+			Size:  child.size,
 			Mode:  child.mode,
 			IsDir: child.isDir,
 		})
@@ -550,23 +696,28 @@ func truncateNode(n *memNode, size int64) error {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.ensureOwned()
-	switch {
-	case int64(len(n.data)) > size:
-		n.data = n.data[:size]
-	case int64(len(n.data)) < size:
-		n.data = append(n.data, make([]byte, size-int64(len(n.data)))...)
-	}
+	n.truncate(size)
 	return nil
 }
 
 // memFile is an open handle onto a memNode.
+//
+// The handle lock is an RWMutex so the closed check and the I/O it guards
+// are one critical section: positional operations (ReadAt/WriteAt/Size/
+// Truncate/Sync) hold the read side across the whole call — they can still
+// run concurrently with each other, as pread/pwrite allow — while Close
+// takes the write side, so it cannot slip between a handle's closed check
+// and the node access (the old check-release-then-touch sequence let I/O
+// on a closed handle succeed). Once Close returns, no in-flight operation
+// on the handle is still touching the node and every later one fails with
+// ErrClosed. Sequential Read/Write/Seek take the write side because they
+// move off.
 type memFile struct {
 	name     string
 	node     *memNode
 	writable bool
 
-	mu     sync.Mutex // guards off and closed for this handle
+	mu     sync.RWMutex // guards off and closed; see type comment
 	off    int64
 	closed bool
 }
@@ -585,10 +736,9 @@ func (f *memFile) Read(p []byte) (int, error) {
 }
 
 func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
-	f.mu.Lock()
-	closed := f.closed
-	f.mu.Unlock()
-	if closed {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.closed {
 		return 0, ErrClosed
 	}
 	return f.readAt(p, off)
@@ -600,14 +750,7 @@ func (f *memFile) readAt(p []byte, off int64) (int, error) {
 	}
 	f.node.mu.RLock()
 	defer f.node.mu.RUnlock()
-	if off >= int64(len(f.node.data)) {
-		return 0, io.EOF
-	}
-	n := copy(p, f.node.data[off:])
-	if n < len(p) {
-		return n, io.EOF
-	}
-	return n, nil
+	return f.node.readAt(p, off)
 }
 
 func (f *memFile) Write(p []byte) (int, error) {
@@ -622,10 +765,9 @@ func (f *memFile) Write(p []byte) (int, error) {
 }
 
 func (f *memFile) WriteAt(p []byte, off int64) (int, error) {
-	f.mu.Lock()
-	closed := f.closed
-	f.mu.Unlock()
-	if closed {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.closed {
 		return 0, ErrClosed
 	}
 	return f.writeAt(p, off)
@@ -640,11 +782,7 @@ func (f *memFile) writeAt(p []byte, off int64) (int, error) {
 	}
 	f.node.mu.Lock()
 	defer f.node.mu.Unlock()
-	f.node.ensureOwned()
-	if grow := off + int64(len(p)) - int64(len(f.node.data)); grow > 0 {
-		f.node.data = append(f.node.data, make([]byte, grow)...)
-	}
-	copy(f.node.data[off:], p)
+	f.node.write(p, off)
 	return len(p), nil
 }
 
@@ -662,7 +800,7 @@ func (f *memFile) Seek(offset int64, whence int) (int64, error) {
 		base = f.off
 	case io.SeekEnd:
 		f.node.mu.RLock()
-		base = int64(len(f.node.data))
+		base = f.node.size
 		f.node.mu.RUnlock()
 	default:
 		return 0, errors.New("vfs: bad seek whence")
@@ -676,8 +814,8 @@ func (f *memFile) Seek(offset int64, whence int) (int64, error) {
 }
 
 func (f *memFile) Truncate(size int64) error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	if f.closed {
 		return ErrClosed
 	}
@@ -688,20 +826,19 @@ func (f *memFile) Truncate(size int64) error {
 }
 
 func (f *memFile) Size() (int64, error) {
-	f.mu.Lock()
-	closed := f.closed
-	f.mu.Unlock()
-	if closed {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.closed {
 		return 0, ErrClosed
 	}
 	f.node.mu.RLock()
 	defer f.node.mu.RUnlock()
-	return int64(len(f.node.data)), nil
+	return f.node.size, nil
 }
 
 func (f *memFile) Sync() error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	if f.closed {
 		return ErrClosed
 	}
