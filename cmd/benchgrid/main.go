@@ -7,7 +7,10 @@
 //   - wall-clock time of one MT4 campaign under COW world clones vs
 //     rebuilt-per-run worlds (the world-lifecycle speedup);
 //   - the runs an adaptive MT2 campaign saves against its fixed budget
-//     (budget − executed runs at the target Wilson half-width).
+//     (budget − executed runs at the target Wilson half-width);
+//   - wall-clock time of a tiered MT2 placement sweep across the three
+//     hermetic backends (mem, object, latency) — the cost of re-running a
+//     placement grid under every backend the mount table can host.
 //
 // CI's bench-smoke job runs it on every push and uploads the refreshed
 // file as a build artifact; committed points form the long-term trajectory
@@ -62,6 +65,12 @@ type point struct {
 	CloneWrite1MiBUS  int64 `json:"cow_clone_write4k_1mib_us,omitempty"`
 	CloneWrite64MiBUS int64 `json:"cow_clone_write4k_64mib_us,omitempty"`
 
+	// One MT2 placement sweep under each hermetic backend (mem, object,
+	// latency) — times the whole-object RMW and simulated-clock overhead the
+	// backend capability model added to the tiered path. omitempty keeps
+	// older points decodable as zero and excluded from the -check gate.
+	TieredBackendSweepMS int64 `json:"tiered_backend_sweep_ms,omitempty"`
+
 	Adaptive adaptivePoint `json:"adaptive"`
 }
 
@@ -87,7 +96,7 @@ func main() {
 		note    = flag.String("note", "", "free-form annotation stored with the point")
 		dry     = flag.Bool("dry-run", false, "print the measured point without touching -out")
 		check   = flag.Bool("check", false, "fail (exit 1) when the fresh point regresses more than -max-regress against the last entry in -out")
-		regress = flag.Float64("max-regress", 0.30, "fractional regression of fig7_grid_engine_ms or mt4_campaign_cow_ms tolerated by -check")
+		regress = flag.Float64("max-regress", 0.30, "fractional regression of fig7_grid_engine_ms, mt4_campaign_cow_ms, or tiered_backend_sweep_ms tolerated by -check")
 	)
 	flag.Parse()
 
@@ -129,8 +138,9 @@ func main() {
 }
 
 // checkRegression compares the fresh point against the newest prior entry
-// on the two hot-path wall times the ROADMAP trajectory gates: the Figure 7
-// engine grid and the MT4 COW campaign. A fresh time more than frac above
+// on the hot-path wall times the ROADMAP trajectory gates: the Figure 7
+// engine grid, the MT4 COW campaign, and the tiered backend sweep. A fresh
+// time more than frac above
 // the committed one fails, so the trajectory is enforced in CI, not just
 // recorded. Prior points missing a metric (older schema, zero value) are
 // not compared on it.
@@ -149,7 +159,10 @@ func checkRegression(prior []json.RawMessage, p point, frac float64) error {
 	}{
 		{"fig7_grid_engine_ms", last.Fig7EngineMS, p.Fig7EngineMS},
 		{"mt4_campaign_cow_ms", last.MT4CowMS, p.MT4CowMS},
+		{"tiered_backend_sweep_ms", last.TieredBackendSweepMS, p.TieredBackendSweepMS},
 	} {
+		// Prior points written before a metric existed decode it as zero;
+		// skip rather than compare against nothing.
 		if m.last <= 0 {
 			continue
 		}
@@ -232,6 +245,19 @@ func measure(runs int, seed uint64, nyxN int, target float64, budget int) (point
 			p.CloneWrite64MiBUS = us
 		}
 	}
+
+	// The backend sweep: one MT2 placement grid re-run under each hermetic
+	// backend. DroppedWrite keeps every placement's injection live, so the
+	// timing covers ObjectFS whole-object commits and LatencyFS clock
+	// charges on real traffic, not no-target short circuits.
+	t0 = time.Now()
+	if _, _, err := experiments.Tiered([]string{"MT2"}, core.DroppedWrite, experiments.Options{
+		Runs: runs, Seed: seed, Jobs: 1,
+		Backends: []string{"mem", "object", "latency"},
+	}); err != nil {
+		return p, fmt.Errorf("tiered backend sweep: %w", err)
+	}
+	p.TieredBackendSweepMS = time.Since(t0).Milliseconds()
 
 	// The runs-saved counter, on the acceptance-criterion cell: MT2 under
 	// unreadable-sector converges at the first barrier, so the saving is

@@ -7,6 +7,8 @@
 //	experiments -fig 7 -runs 200           # the characterization, reduced
 //	experiments -fig 5 -outdir ./artifacts # writes PGM visualizations
 //	experiments -tiered -runs 200          # fault placement across storage tiers
+//	experiments -tiered -backend mem -backend object -backend latency
+//	                                       # ...swept across storage backends too
 //	experiments -readwrite -runs 200       # read-path vs write-path fault families
 //	experiments -fig 7 -jobs 8 -progress   # 8-wide engine pool, streamed progress
 //
@@ -78,8 +80,9 @@ func main() {
 		shardStr = flag.String("shard", "", "execute only shard i/n of every cell's run indices (requires -out)")
 		report   = flag.String("report", "", "re-render the store at -out (text, csv, json, markdown) and exit without running")
 	)
-	var mergeSrcs stringList
+	var mergeSrcs, backends stringList
 	flag.Var(&mergeSrcs, "merge", "merge this shard store into -out (repeatable) and exit without running")
+	flag.Var(&backends, "backend", "storage backend the -tiered sweep runs every placement under (repeatable: mem, object[:lag=N], latency[:bb|:pfs]; default mem)")
 	flag.Parse()
 
 	if *listOnly || strings.EqualFold(*model, "list") {
@@ -96,6 +99,17 @@ func main() {
 		MetaStride:     *stride,
 		UseAvgDetector: *useAvg,
 		CI:             *showCI,
+		Backends:       backends,
+	}
+	for _, b := range backends {
+		if err := experiments.ValidateBackend(b); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(2)
+		}
+		if !experiments.HermeticBackend(b) {
+			fmt.Fprintf(os.Stderr, "experiments: -backend %s: campaigns need hermetic per-run state; use mem, object, or latency\n", b)
+			os.Exit(2)
+		}
 	}
 	if *progress {
 		o.Progress = experiments.ProgressPrinter(os.Stderr)

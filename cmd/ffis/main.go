@@ -15,11 +15,14 @@
 //	ffis -list-models
 //
 // Tiered storage: -mount builds a multi-backend world (repeatable, syntax
-// PATH[=BACKEND]; campaigns require the hermetic mem backend) and -arm
-// restricts injection to the I/O routed to the named mounts, leaving every
-// other tier clean:
+// PATH[=BACKEND]; campaigns require hermetic backends — mem, object[:lag=N],
+// latency[:bb|:pfs] — while os:DIR is rejected) and -arm restricts injection
+// to the I/O routed to the named mounts, leaving every other tier clean.
+// Without -mount, -backend swaps the whole flat world's storage backend:
 //
 //	ffis -app nyx -model bf -mount /plt00000 -mount /out -arm /plt00000
+//	ffis -app nyx -model bf -mount /plt00000=latency:bb -arm /plt00000
+//	ffis -app MT2 -model dw -backend object:lag=2
 //
 // Persistent results: -out streams every run record to a JSONL store as it
 // completes, so a killed campaign loses nothing and the stored records can
@@ -81,6 +84,7 @@ func main() {
 		adaptive  = flag.Float64("adaptive", 0, "adaptive stopping: halt when every outcome rate's Wilson 95% half-width is under this target (-runs becomes the budget cap; 0 = fixed budget)")
 		showCI    = flag.Bool("ci", false, "render outcome columns as rate ±halfwidth (Wilson 95%)")
 		shots     = flag.Int("shots", 0, "override the fault model's shot budget (0 = model default; >1 only affects multi-shot models)")
+		backend   = flag.String("backend", "mem", "storage backend of the flat world: mem, object[:lag=N], latency[:bb|:pfs] (with -mount, set backends per mount instead)")
 	)
 	var (
 		outDir    = flag.String("out", "", "stream run records to a JSONL results store at this directory")
@@ -89,7 +93,7 @@ func main() {
 		reportFmt = flag.String("report", "", "re-render the store at -out (text, csv, json, markdown) and exit without running")
 	)
 	var mountSpecs, armMounts, mergeSrcs stringList
-	flag.Var(&mountSpecs, "mount", "mount a backend at PATH[=BACKEND] (repeatable; BACKEND: mem, os:DIR)")
+	flag.Var(&mountSpecs, "mount", "mount a backend at PATH[=BACKEND] (repeatable; BACKEND: mem, object[:lag=N], latency[:bb|:pfs], os:DIR)")
 	flag.Var(&armMounts, "arm", "arm the injector only on this mount point (repeatable; requires -mount)")
 	flag.Var(&mergeSrcs, "merge", "merge this shard store into -out (repeatable) and exit without running")
 	flag.Parse()
@@ -141,10 +145,22 @@ func main() {
 		// A campaign's statistics assume a fresh, hermetic world per run;
 		// an os: backend is one shared host directory mutated by every
 		// (possibly parallel) run. Reject it here rather than tally noise.
-		if m.Backend != "mem" {
-			fmt.Fprintf(os.Stderr, "ffis: mount %s=%s: campaigns need hermetic per-run state; use the mem backend (os: backends are for library-level one-shot inspection)\n", m.Path, m.Backend)
+		if !experiments.HermeticBackend(m.Backend) {
+			fmt.Fprintf(os.Stderr, "ffis: mount %s=%s: campaigns need hermetic per-run state; use a hermetic backend (os: backends are for library-level one-shot inspection)\n", m.Path, m.Backend)
 			os.Exit(2)
 		}
+	}
+	if err := experiments.ValidateBackend(*backend); err != nil {
+		fmt.Fprintf(os.Stderr, "ffis: %v\n", err)
+		os.Exit(2)
+	}
+	if !experiments.HermeticBackend(*backend) {
+		fmt.Fprintf(os.Stderr, "ffis: -backend %s: campaigns need hermetic per-run state; use mem, object, or latency\n", *backend)
+		os.Exit(2)
+	}
+	if *backend != "mem" && len(mounts) > 0 {
+		fmt.Fprintln(os.Stderr, "ffis: -backend applies to the flat world only; with -mount, name backends per mount (PATH=BACKEND)")
+		os.Exit(2)
 	}
 	if len(armMounts) > 0 && len(mounts) == 0 {
 		fmt.Fprintln(os.Stderr, "ffis: -arm needs a mounted world; add -mount flags")
@@ -158,6 +174,7 @@ func main() {
 		NyxN:           *nyxN,
 		UseAvgDetector: *useAvg,
 		Mounts:         mounts,
+		Backend:        *backend,
 		ArmMounts:      armMounts,
 		Shots:          *shots,
 		CI:             *showCI,
@@ -242,6 +259,9 @@ func main() {
 	if res.StopIndex > 0 {
 		fmt.Printf("adaptive stop at run %d of the %d-run budget (target half-width %.3g)\n",
 			res.StopIndex, *runs, *adaptive)
+	}
+	if res.SimNanos > 0 {
+		fmt.Printf("simulated I/O time: %.3fms across all runs\n", float64(res.SimNanos)/1e6)
 	}
 	executed := res.Tally.Total()
 	switch {

@@ -184,6 +184,12 @@ type RunRecord struct {
 	Fired    bool     // false when the target instance was never reached
 	Shots    int      // shots fired; 1 for the single-shot family, 0 when never fired
 	RunErr   error    // the application error, if any
+	// SimNanos is the simulated I/O time the run charged against its
+	// world's latency-modeled backends (vfs.SimClocked), zero on worlds
+	// with no latency modeling. The clock is reset immediately before the
+	// application runs, so setup/profiling I/O is excluded and COW-cloned
+	// and rebuilt worlds report identical times.
+	SimNanos int64
 }
 
 // CampaignResult aggregates a finished campaign.
@@ -201,6 +207,11 @@ type CampaignResult struct {
 	// reaches its cap reports StopIndex == Runs, keeping "adaptive, capped"
 	// distinguishable from "fixed" in persisted headers.
 	StopIndex int
+	// SimNanos is the total simulated I/O time over all executed runs,
+	// zero when the world has no latency-modeled backend. Deterministic:
+	// per-run charges are interleaving-independent sums, so the total
+	// depends only on (Seed, Runs), never on Workers.
+	SimNanos int64
 }
 
 // Cell renders the result as a labelled classify table cell.
@@ -320,7 +331,16 @@ func runOnceWorld(base vfs.FS, w Workload, sig Signature, target int64, rng *sta
 	if err != nil {
 		return RunRecord{}, err
 	}
+	// Measure only the application's own I/O on the simulated clock: reset
+	// before Run (excluding Setup and any profiling charges, and making COW
+	// clones and fresh rebuilds indistinguishable), read before
+	// classification touches the world.
+	vfs.ResetSim(base)
 	runErr := runRecovering(w.Run, armed)
+	simNanos := int64(0)
+	if elapsed, ok := vfs.SimElapsed(base); ok {
+		simNanos = int64(elapsed)
+	}
 	outcome := classify.Crash
 	if w.Classify != nil {
 		outcome = w.Classify(base, runErr)
@@ -335,6 +355,7 @@ func runOnceWorld(base vfs.FS, w Workload, sig Signature, target int64, rng *sta
 		Fired:    fired,
 		Shots:    inj.FiredShots(),
 		RunErr:   runErr,
+		SimNanos: simNanos,
 	}, nil
 }
 
@@ -437,12 +458,13 @@ func runInjections(cfg CampaignConfig, w Workload, snap *WorldSnapshot, sig Sign
 		// mu guards the shared accumulators and serializes sink and
 		// progress delivery, so Done counts reach the callback in
 		// monotone order and the sink never sees overlapping calls.
-		mu      sync.Mutex
-		done    int
-		tally   classify.Tally
-		failIdx = -1
-		failErr error
-		sinkErr error
+		mu       sync.Mutex
+		done     int
+		tally    classify.Tally
+		simTotal int64
+		failIdx  = -1
+		failErr  error
+		sinkErr  error
 		// priorTally accumulates the persisted outcomes of skipped indices
 		// (adaptive resume); touched only from the dispatch loop, read only
 		// after its chunk has drained.
@@ -487,6 +509,7 @@ func runInjections(cfg CampaignConfig, w Workload, snap *WorldSnapshot, sig Sign
 					}
 				} else {
 					tally.Add(rec.Outcome)
+					simTotal += rec.SimNanos
 					if records != nil {
 						records[idx], ran[idx] = rec, true
 					}
@@ -541,6 +564,7 @@ func runInjections(cfg CampaignConfig, w Workload, snap *WorldSnapshot, sig Sign
 	}
 
 	res.Tally = tally
+	res.SimNanos = simTotal
 	if records != nil {
 		for idx, ok := range ran {
 			if ok {

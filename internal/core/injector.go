@@ -40,9 +40,18 @@ type Injector struct {
 
 	count atomic.Int64
 
-	mu        sync.Mutex
+	mu        sync.Mutex // guards fired and mutations
 	fired     int
 	mutations []Mutation
+
+	// rngMu guards rng alone. The RNG is already sharded one state per
+	// (seed, run-index) stream — every run gets its own Injector with its
+	// own stream from runStream — so this mutex only serializes the
+	// handles of a single run. Keeping it separate from mu means a draw
+	// (flip, Intn) never contends with the fired/mutations bookkeeping:
+	// under 8+ workers the claim path and the draw path proceed
+	// independently, and the draw order within a run is unchanged.
+	rngMu sync.Mutex
 }
 
 // NewInjector arms an injector for the given signature at the given dynamic
@@ -133,11 +142,12 @@ func (inj *Injector) record(m Mutation) {
 
 // flip is the single entry point to the injector's RNG for bit flipping:
 // every caller (write, metadata, truncate, and read paths alike) draws the
-// bit position under inj.mu, so concurrent handles can never race on the
-// RNG state.
+// bit position under rngMu, so concurrent handles of this run can never
+// race on the RNG state — without queuing behind the claim/record
+// bookkeeping guarded by mu.
 func (inj *Injector) flip(buf []byte) ([]byte, Mutation) {
-	inj.mu.Lock()
-	defer inj.mu.Unlock()
+	inj.rngMu.Lock()
+	defer inj.rngMu.Unlock()
 	return mutateBitFlip(buf, inj.sig.Feature, inj.rng)
 }
 
@@ -162,11 +172,11 @@ func (e Env) Feature() Feature { return e.inj.sig.Feature }
 // stamps Model, Path, and Offset before recording.
 func (e Env) Flip(buf []byte) ([]byte, Mutation) { return e.inj.flip(buf) }
 
-// Intn draws a uniform int in [0, n) from the injector's RNG under its
-// mutex.
+// Intn draws a uniform int in [0, n) from the injector's per-run RNG
+// stream under its dedicated mutex.
 func (e Env) Intn(n int) int {
-	e.inj.mu.Lock()
-	defer e.inj.mu.Unlock()
+	e.inj.rngMu.Lock()
+	defer e.inj.rngMu.Unlock()
 	return e.inj.rng.Intn(n)
 }
 

@@ -80,6 +80,9 @@ type resultJSON struct {
 	// StopIndex is where the adaptive rule stopped the campaign; omitted
 	// for fixed-budget runs.
 	StopIndex int `json:"stop_index,omitempty"`
+	// SimNanos is the total simulated I/O time over all runs; omitted for
+	// worlds with no latency-modeled backend.
+	SimNanos int64 `json:"sim_ns,omitempty"`
 }
 
 // rateJSON is one outcome's interval summary in the JSON export.
@@ -101,6 +104,7 @@ func toJSON(r CampaignResult) resultJSON {
 		SDCRate:      r.Tally.Rate(classify.SDC).P(),
 		SDCErrBar95:  r.Tally.Rate(classify.SDC).ErrorBar95(),
 		StopIndex:    r.StopIndex,
+		SimNanos:     r.SimNanos,
 	}
 	for _, o := range classify.Outcomes() {
 		p := r.Tally.Rate(o)

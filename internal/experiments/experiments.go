@@ -41,6 +41,15 @@ type Options struct {
 	// Mounts, when non-empty, runs the workload on a MountFS world with
 	// these extra mount points instead of a flat MemFS (cmd/ffis -mount).
 	Mounts []MountSpec
+	// Backend selects the storage backend of the flat (mount-less) world:
+	// "mem" (the default), "object[:lag=N]", or "latency[:bb|:pfs]"
+	// (cmd/ffis -backend). Ignored when Mounts is set — per-mount backends
+	// come from the specs there.
+	Backend string
+	// Backends lists the storage backends the tiered sweep runs every
+	// placement under (cmd/experiments -backend, repeatable); empty sweeps
+	// the default {"mem"}.
+	Backends []string
 	// ArmMounts restricts fault injection to the I/O routed to these
 	// mount points of the world (cmd/ffis -arm); empty arms everything.
 	ArmMounts []string
@@ -116,7 +125,24 @@ func (o Options) normalize() Options {
 	if o.MetaStride <= 0 {
 		o.MetaStride = 1
 	}
+	if len(o.Backends) == 0 {
+		o.Backends = []string{"mem"}
+	}
 	return o
+}
+
+// worldFS resolves the options' world constructor: the mounted world when
+// Mounts is set, a flat single-backend world for a non-default Backend, and
+// nil (the workload's own flat MemFS) otherwise.
+func (o Options) worldFS() func() (vfs.FS, error) {
+	if len(o.Mounts) > 0 {
+		return NewFSFromSpecs(o.Mounts)
+	}
+	if o.Backend != "" && o.Backend != "mem" {
+		backend := o.Backend
+		return func() (vfs.FS, error) { return NewBackendFS(backend) }
+	}
+	return nil
 }
 
 func (o Options) nyxSim() nyx.SimConfig {
@@ -201,14 +227,15 @@ var Fig7Cells = []string{"nyx", "qmcpack", "MT1", "MT2", "MT3", "MT4"}
 
 // NewWorkload constructs the campaign workload for a Figure 7 cell name.
 // When Options.Mounts is set, the workload runs on a MountFS world with
-// those mount points, making it armable per tier via Options.ArmMounts.
+// those mount points, making it armable per tier via Options.ArmMounts;
+// Options.Backend swaps the flat world's storage backend.
 func NewWorkload(cell string, o Options) (core.Workload, error) {
 	w, err := newBareWorkload(cell, o)
 	if err != nil {
 		return core.Workload{}, err
 	}
-	if len(o.Mounts) > 0 {
-		w.NewFS = NewFSFromSpecs(o.Mounts)
+	if newFS := o.worldFS(); newFS != nil {
+		w.NewFS = newFS
 	}
 	return w, nil
 }
@@ -271,8 +298,8 @@ func Fig7Cell(cell string, model core.Model, o Options) (core.CampaignResult, er
 	var err error
 	if core.IsRead(model) {
 		w, err = NewPipelineWorkload(cell, o)
-		if err == nil && len(o.Mounts) > 0 {
-			w.NewFS = NewFSFromSpecs(o.Mounts)
+		if newFS := o.worldFS(); err == nil && newFS != nil {
+			w.NewFS = newFS
 		}
 	} else {
 		w, err = NewWorkload(cell, o)

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"ffis/internal/vfs"
@@ -15,16 +16,77 @@ import (
 //
 // where PATH is the absolute mount point and BACKEND is one of
 //
-//	mem      a fresh in-memory backend per campaign run (the default, and
-//	         the only hermetic choice for statistical campaigns)
-//	os:DIR   the host directory DIR via vfs.OSFS — state persists across
-//	         runs, so cmd/ffis rejects it for campaigns; it exists for
-//	         library-level one-shot inspection
+//	mem          a fresh in-memory backend per campaign run (the default)
+//	object       a fresh flat-key object store (vfs.ObjectFS): whole-object
+//	             read-modify-write semantics, strong consistency
+//	object:lag=N the object store with an eventual-consistency window — the
+//	             next N opens after an overwrite observe the old object
+//	latency      a latency-modeled MemFS (vfs.LatencyFS) billing a simulated
+//	             clock at parallel-file-system rates
+//	latency:bb   latency-modeled at burst-buffer rates
+//	latency:pfs  latency-modeled at parallel-file-system rates (alias of
+//	             latency)
+//	os:DIR       the host directory DIR via vfs.OSFS — state persists across
+//	             runs, so cmd/ffis rejects it for campaigns; it exists for
+//	             library-level one-shot inspection
 //
-// Examples: "/scratch", "/scratch=mem", "/data=os:/tmp/ffis-data".
+// Every backend except os:DIR is hermetic: a fresh instance per campaign
+// run. Examples: "/scratch", "/scratch=latency:bb", "/data=object:lag=2".
 type MountSpec struct {
 	Path    string
-	Backend string // "mem" or "os:DIR"
+	Backend string // "mem", "object[:lag=N]", "latency[:bb|:pfs]", or "os:DIR"
+}
+
+// ValidateBackend checks a backend name against the mount-spec vocabulary.
+func ValidateBackend(b string) error {
+	switch {
+	case b == "mem", b == "object", b == "latency", b == "latency:bb", b == "latency:pfs":
+		return nil
+	case strings.HasPrefix(b, "object:lag="):
+		n, err := strconv.Atoi(strings.TrimPrefix(b, "object:lag="))
+		if err != nil || n < 0 {
+			return fmt.Errorf("experiments: backend %q: lag must be a non-negative integer", b)
+		}
+		return nil
+	case b == "os:":
+		return fmt.Errorf("experiments: backend %q: os backend needs a directory", b)
+	case strings.HasPrefix(b, "os:"):
+		return nil
+	}
+	return fmt.Errorf("experiments: unknown backend %q (want mem, object[:lag=N], latency[:bb|:pfs], or os:DIR)", b)
+}
+
+// HermeticBackend reports whether a backend hands out fresh per-run state —
+// the property statistical campaigns rely on. Only os:DIR is non-hermetic:
+// it is one shared host directory mutated by every run.
+func HermeticBackend(b string) bool { return !strings.HasPrefix(b, "os:") }
+
+// NewBackendFS constructs one fresh backend instance by name.
+func NewBackendFS(backend string) (vfs.FS, error) {
+	if err := ValidateBackend(backend); err != nil {
+		return nil, err
+	}
+	switch {
+	case backend == "mem":
+		return vfs.NewMemFS(), nil
+	case backend == "object":
+		return vfs.NewObjectFS(), nil
+	case strings.HasPrefix(backend, "object:lag="):
+		lag, _ := strconv.Atoi(strings.TrimPrefix(backend, "object:lag="))
+		o := vfs.NewObjectFS()
+		o.SetConsistencyLag(lag)
+		return o, nil
+	case backend == "latency", backend == "latency:pfs":
+		return vfs.NewLatencyFS(vfs.NewMemFS(), vfs.ParallelFSModel), nil
+	case backend == "latency:bb":
+		return vfs.NewLatencyFS(vfs.NewMemFS(), vfs.BurstBufferModel), nil
+	default: // os:DIR — validated above
+		dir := strings.TrimPrefix(backend, "os:")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("experiments: backend %s: %w", backend, err)
+		}
+		return vfs.NewOSFS(dir), nil
+	}
 }
 
 // ParseMountSpec parses one -mount flag value.
@@ -36,11 +98,8 @@ func ParseMountSpec(s string) (MountSpec, error) {
 	if path == "" || !strings.HasPrefix(path, "/") {
 		return MountSpec{}, fmt.Errorf("experiments: mount spec %q: path must be absolute", s)
 	}
-	if backend != "mem" && !strings.HasPrefix(backend, "os:") {
-		return MountSpec{}, fmt.Errorf("experiments: mount spec %q: backend must be mem or os:DIR", s)
-	}
-	if backend == "os:" {
-		return MountSpec{}, fmt.Errorf("experiments: mount spec %q: os backend needs a directory", s)
+	if err := ValidateBackend(backend); err != nil {
+		return MountSpec{}, fmt.Errorf("experiments: mount spec %q: %w", s, err)
 	}
 	return MountSpec{Path: vfs.Clean(path), Backend: backend}, nil
 }
@@ -59,22 +118,18 @@ func ParseMountSpecs(specs []string) ([]MountSpec, error) {
 }
 
 // NewFSFromSpecs returns a world constructor (core.Workload.NewFS) building
-// a MountFS with a MemFS root and one backend per spec. Mem backends are
-// fresh per call; os backends hand out the same host directory every run —
-// they break the fresh-world-per-run assumption statistical campaigns rely
-// on (cmd/ffis therefore refuses them) and exist for one-shot inspection.
+// a MountFS with a MemFS root and one backend per spec. Hermetic backends
+// are fresh per call; os backends hand out the same host directory every
+// run — they break the fresh-world-per-run assumption statistical campaigns
+// rely on (cmd/ffis therefore refuses them) and exist for one-shot
+// inspection.
 func NewFSFromSpecs(specs []MountSpec) func() (vfs.FS, error) {
 	return func() (vfs.FS, error) {
 		m := vfs.NewMountFS(vfs.NewMemFS())
 		for _, s := range specs {
-			var backend vfs.FS
-			if dir, ok := strings.CutPrefix(s.Backend, "os:"); ok {
-				if err := os.MkdirAll(dir, 0o755); err != nil {
-					return nil, fmt.Errorf("experiments: mount %s: %w", s.Path, err)
-				}
-				backend = vfs.NewOSFS(dir)
-			} else {
-				backend = vfs.NewMemFS()
+			backend, err := NewBackendFS(s.Backend)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: mount %s: %w", s.Path, err)
 			}
 			if err := m.Mount(s.Path, backend); err != nil {
 				return nil, err

@@ -61,13 +61,49 @@ type StorageLayout struct {
 // NewFS builds the mounted world: a MountFS with a MemFS root and a fresh
 // MemFS backend per mount. It satisfies core.Workload.NewFS.
 func (l StorageLayout) NewFS() (vfs.FS, error) {
-	m := vfs.NewMountFS(vfs.NewMemFS())
-	for _, dir := range l.Mounts {
-		if err := m.Mount(dir, vfs.NewMemFS()); err != nil {
+	return l.FSFactory("mem")()
+}
+
+// FSFactory returns a world constructor (core.Workload.NewFS) building the
+// layout on the named backend: every mount — and the root — is a fresh
+// instance of that backend per call, so campaigns stay hermetic regardless
+// of backend. The plain "latency" backend is tier-aware: scratch-tier
+// mounts bill at burst-buffer rates and everything else at parallel-file-
+// system rates, the way an HPC site's tiers actually differ; latency:bb
+// and latency:pfs force one cost model everywhere.
+func (l StorageLayout) FSFactory(backend string) func() (vfs.FS, error) {
+	return func() (vfs.FS, error) {
+		root, err := l.tierBackend(backend, "/")
+		if err != nil {
 			return nil, err
 		}
+		m := vfs.NewMountFS(root)
+		for _, dir := range l.Mounts {
+			fs, err := l.tierBackend(backend, dir)
+			if err != nil {
+				return nil, err
+			}
+			if err := m.Mount(dir, fs); err != nil {
+				return nil, err
+			}
+		}
+		return m, nil
 	}
-	return m, nil
+}
+
+// tierBackend builds the backend instance for one mount point of the
+// layout, resolving the tier-aware latency model.
+func (l StorageLayout) tierBackend(backend, dir string) (vfs.FS, error) {
+	if backend == "latency" {
+		cost := vfs.ParallelFSModel
+		for _, m := range l.Tiers[TierScratch] {
+			if m == dir {
+				cost = vfs.BurstBufferModel
+			}
+		}
+		return vfs.NewLatencyFS(vfs.NewMemFS(), cost), nil
+	}
+	return NewBackendFS(backend)
 }
 
 // TierLayout returns the storage layout of a Figure 7 cell, placing each
@@ -115,7 +151,10 @@ func TierLayout(cell string) (StorageLayout, error) {
 // PlacementResult is one row of the tiered sweep: a workload × placement
 // campaign outcome tally.
 type PlacementResult struct {
-	Cell      string
+	Cell string
+	// Backend names the storage backend every mount of this row's world ran
+	// on ("mem", "object[:lag=N]", "latency[:bb|:pfs]").
+	Backend   string
 	Placement string
 	// ArmMounts are the mount points the injector was armed on (empty =
 	// the whole world).
@@ -128,6 +167,9 @@ type PlacementResult struct {
 	// hypothetical run is vacuously clean.
 	NoTargets bool
 	Tally     classify.Tally
+	// SimNanos is the total simulated I/O time over the placement's runs;
+	// zero unless the backend is latency-modeled.
+	SimNanos int64
 }
 
 // TieredCells is the default workload set of the tiered sweep: two
@@ -136,12 +178,17 @@ type PlacementResult struct {
 // the scenario requires.
 var TieredCells = []string{"nyx", "MT2", "MT4"}
 
-// Tiered sweeps the given Figure 7 cells across the fault placements as one
-// engine grid and returns the rendered per-placement outcome table plus the
-// raw results. Empty cells selects TieredCells. All placements of a cell
-// share one WorldKey — the mounted world is built and Setup once, profile
-// counts are memoized per armed-mount set, and every placement's runs draw
-// from the engine's shared pool.
+// Tiered sweeps the given Figure 7 cells across the fault placements — and,
+// when Options.Backends names more than the default MemFS, across storage
+// backends — as one engine grid, returning the rendered per-placement
+// outcome table plus the raw results. Empty cells selects TieredCells. All
+// placements of a (cell, backend) pair share one WorldKey — the mounted
+// world is built and Setup once, profile counts are memoized per
+// armed-mount set, and every placement's runs draw from the engine's shared
+// pool. Distinct backends get distinct WorldKeys, so the engine never hands
+// one backend's snapshot to another backend's runs. The default mem backend
+// keeps its legacy spec keys (cell/placement), so stores written before the
+// backend sweep existed resume unchanged.
 func Tiered(cells []string, model core.Model, o Options) (string, []PlacementResult, error) {
 	o = o.normalize()
 	if len(cells) == 0 {
@@ -158,24 +205,42 @@ func Tiered(cells []string, model core.Model, o Options) (string, []PlacementRes
 		if err != nil {
 			return "", nil, err
 		}
-		w.NewFS = layout.NewFS
-		for _, pl := range Placements {
-			mounts := append([]string(nil), layout.Tiers[pl.Tier]...)
-			sort.Strings(mounts)
-			metas = append(metas, PlacementResult{Cell: cell, Placement: pl.Name, ArmMounts: mounts})
-			specs = append(specs, core.CampaignSpec{
-				Key: cell + "/" + pl.Name,
-				// Distinct from the flat Fig7 world of the same cell name.
-				WorldKey: cell + "@tiered",
-				Workload: w,
-				Config: core.CampaignConfig{
-					Fault:     core.Config{Model: model, Shots: o.Shots},
-					Runs:      o.Runs,
-					Seed:      o.Seed,
-					ArmMounts: mounts,
-					Stop:      o.Stop,
-				},
-			})
+		for _, backend := range o.Backends {
+			if err := ValidateBackend(backend); err != nil {
+				return "", nil, err
+			}
+			if !HermeticBackend(backend) {
+				return "", nil, fmt.Errorf("experiments: tiered sweep needs hermetic per-run state; backend %q is a shared host directory", backend)
+			}
+			wb := w
+			wb.NewFS = layout.FSFactory(backend)
+			key := cell
+			// Distinct from the flat Fig7 world of the same cell name, and
+			// per-backend so snapshots are never shared across backends.
+			worldKey := cell + "@tiered"
+			if backend != "mem" {
+				key = cell + "/" + backend
+				worldKey = cell + "@tiered-" + backend
+			}
+			for _, pl := range Placements {
+				mounts := append([]string(nil), layout.Tiers[pl.Tier]...)
+				sort.Strings(mounts)
+				metas = append(metas, PlacementResult{
+					Cell: cell, Backend: backend, Placement: pl.Name, ArmMounts: mounts,
+				})
+				specs = append(specs, core.CampaignSpec{
+					Key:      key + "/" + pl.Name,
+					WorldKey: worldKey,
+					Workload: wb,
+					Config: core.CampaignConfig{
+						Fault:     core.Config{Model: model, Shots: o.Shots},
+						Runs:      o.Runs,
+						Seed:      o.Seed,
+						ArmMounts: mounts,
+						Stop:      o.Stop,
+					},
+				})
+			}
 		}
 	}
 	grid, err := o.runGrid(specs)
@@ -192,21 +257,56 @@ func Tiered(cells []string, model core.Model, o Options) (string, []PlacementRes
 		default:
 			results[i].ProfileCount = r.Result.ProfileCount
 			results[i].Tally = r.Result.Tally
+			results[i].SimNanos = r.Result.SimNanos
 		}
 	}
 	return RenderTiered(model, o.Runs, results), results, nil
 }
 
-// RenderTiered formats the sweep as a per-placement outcome table.
+// RenderTiered formats the sweep as a per-placement outcome table. A sweep
+// over the default mem backend renders the classic placement table; once
+// any row ran on another backend, a backend column and a simulated-time
+// column (milliseconds, blank for unmodeled backends) join the layout.
 func RenderTiered(model core.Model, runs int, results []PlacementResult) string {
+	extended := false
+	for _, r := range results {
+		if r.Backend != "" && r.Backend != "mem" {
+			extended = true
+		}
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "Tiered storage: %s faults by placement (%d runs per armed cell)\n", model.Name(), runs)
-	fmt.Fprintf(&b, "%-9s %-13s %-22s %8s %7s %7s %9s %7s\n",
-		"workload", "placement", "armed mounts", "targets", "benign", "SDC", "detected", "crash")
+	if extended {
+		fmt.Fprintf(&b, "%-9s %-12s %-13s %-22s %8s %7s %7s %9s %7s %10s\n",
+			"workload", "backend", "placement", "armed mounts", "targets", "benign", "SDC", "detected", "crash", "sim-ms")
+	} else {
+		fmt.Fprintf(&b, "%-9s %-13s %-22s %8s %7s %7s %9s %7s\n",
+			"workload", "placement", "armed mounts", "targets", "benign", "SDC", "detected", "crash")
+	}
 	for _, r := range results {
 		armed := "(entire file system)"
 		if len(r.ArmMounts) > 0 {
 			armed = strings.Join(r.ArmMounts, ",")
+		}
+		if extended {
+			backend := r.Backend
+			if backend == "" {
+				backend = "mem"
+			}
+			if r.NoTargets {
+				fmt.Fprintf(&b, "%-9s %-12s %-13s %-22s %8d %s\n",
+					r.Cell, backend, r.Placement, armed, 0, "— no injectable I/O routed to this tier")
+				continue
+			}
+			sim := ""
+			if r.SimNanos > 0 {
+				sim = fmt.Sprintf("%.3f", float64(r.SimNanos)/1e6)
+			}
+			fmt.Fprintf(&b, "%-9s %-12s %-13s %-22s %8d %7d %7d %9d %7d %10s\n",
+				r.Cell, backend, r.Placement, armed, r.ProfileCount,
+				r.Tally.Count(classify.Benign), r.Tally.Count(classify.SDC),
+				r.Tally.Count(classify.Detected), r.Tally.Count(classify.Crash), sim)
+			continue
 		}
 		if r.NoTargets {
 			fmt.Fprintf(&b, "%-9s %-13s %-22s %8d %s\n",

@@ -88,6 +88,41 @@ func TestTieredScratchArmedMatchesAllForNyx(t *testing.T) {
 	}
 }
 
+// TestTieredBackendSweepDeterminism is the backend-sweep acceptance test:
+// one cell swept over {MemFS, ObjectFS, latency-modeled MemFS} runs through
+// the engine with tallies — and simulated time — independent of the worker
+// count, latency rows carry nonzero simulated time, and the unmodeled
+// backends stay at zero so their persisted records keep their legacy bytes.
+func TestTieredBackendSweepDeterminism(t *testing.T) {
+	run := func(jobs int) []PlacementResult {
+		o := smallOpts()
+		o.Backends = []string{"mem", "object", "latency"}
+		o.Jobs = jobs
+		_, results, err := Tiered([]string{"MT2"}, core.DroppedWrite, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results
+	}
+	serial, parallel := run(1), run(8)
+	if len(serial) != 3*len(Placements) {
+		t.Fatalf("got %d rows; want %d", len(serial), 3*len(Placements))
+	}
+	for i := range serial {
+		a, b := serial[i], parallel[i]
+		if a.Backend != b.Backend || a.Placement != b.Placement ||
+			a.ProfileCount != b.ProfileCount || a.Tally != b.Tally || a.SimNanos != b.SimNanos {
+			t.Errorf("row %d diverges across worker counts:\n  1 worker:  %+v\n  8 workers: %+v", i, a, b)
+		}
+		switch {
+		case a.Backend == "latency" && !a.NoTargets && a.SimNanos == 0:
+			t.Errorf("latency row %s/%s has zero simulated time", a.Cell, a.Placement)
+		case a.Backend != "latency" && a.SimNanos != 0:
+			t.Errorf("%s row %s/%s has simulated time %d; want 0", a.Backend, a.Cell, a.Placement, a.SimNanos)
+		}
+	}
+}
+
 func TestParseMountSpec(t *testing.T) {
 	for _, tc := range []struct {
 		in      string
@@ -99,9 +134,16 @@ func TestParseMountSpec(t *testing.T) {
 		{in: "/scratch=mem", path: "/scratch", backend: "mem"},
 		{in: "/data=os:/tmp/x", path: "/data", backend: "os:/tmp/x"},
 		{in: "/a/b/../c", path: "/a/c", backend: "mem"},
+		{in: "/obj=object", path: "/obj", backend: "object"},
+		{in: "/obj=object:lag=2", path: "/obj", backend: "object:lag=2"},
+		{in: "/bb=latency:bb", path: "/bb", backend: "latency:bb"},
+		{in: "/pfs=latency", path: "/pfs", backend: "latency"},
 		{in: "relative", wantErr: true},
 		{in: "/x=floppy", wantErr: true},
 		{in: "/x=os:", wantErr: true},
+		{in: "/x=object:lag=", wantErr: true},
+		{in: "/x=object:lag=-1", wantErr: true},
+		{in: "/x=latency:ssd", wantErr: true},
 		{in: "=mem", wantErr: true},
 	} {
 		ms, err := ParseMountSpec(tc.in)

@@ -201,6 +201,7 @@ func (d SpecData) CampaignResult() (core.CampaignResult, error) {
 		}
 		res.Records = append(res.Records, rr)
 		res.Tally.Add(rr.Outcome)
+		res.SimNanos += rr.SimNanos
 	}
 	return res, nil
 }

@@ -144,6 +144,11 @@ type Record struct {
 	Shots    int             `json:"shots,omitempty"`
 	RunErr   string          `json:"run_err,omitempty"`
 	Mutation *MutationRecord `json:"mutation,omitempty"`
+	// SimNanos is the run's simulated I/O time on latency-modeled worlds.
+	// Appended with omitempty: the default MemFS worlds charge nothing, so
+	// every record stream written before latency modeling existed — and
+	// every stream from an unmodeled world — keeps its exact legacy bytes.
+	SimNanos int64 `json:"sim_ns,omitempty"`
 }
 
 // MutationRecord is the serializable form of core.Mutation. The model is
@@ -170,10 +175,11 @@ type MutationRecord struct {
 // instances do not survive serialization, only their identities do.
 func newRecord(rec core.RunRecord) Record {
 	out := Record{
-		Index:   rec.Index,
-		Target:  rec.Target,
-		Outcome: rec.Outcome.String(),
-		Fired:   rec.Fired,
+		Index:    rec.Index,
+		Target:   rec.Target,
+		Outcome:  rec.Outcome.String(),
+		Fired:    rec.Fired,
+		SimNanos: rec.SimNanos,
 	}
 	if rec.Shots > 1 {
 		out.Shots = rec.Shots
@@ -232,11 +238,12 @@ func (r Record) RunRecord() (core.RunRecord, error) {
 		return core.RunRecord{}, fmt.Errorf("results: record %d: %w", r.Index, err)
 	}
 	out := core.RunRecord{
-		Index:   r.Index,
-		Target:  r.Target,
-		Outcome: outcome,
-		Fired:   r.Fired,
-		Shots:   r.Shots,
+		Index:    r.Index,
+		Target:   r.Target,
+		Outcome:  outcome,
+		Fired:    r.Fired,
+		Shots:    r.Shots,
+		SimNanos: r.SimNanos,
 	}
 	if out.Shots == 0 && r.Fired {
 		out.Shots = 1 // single-shot records omit the count

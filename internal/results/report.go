@@ -53,6 +53,7 @@ func Report(st *Store, format string) (string, error) {
 	switch strings.ToLower(format) {
 	case "", "text":
 		b.WriteString(classify.TableCI(title, cells))
+		simFooter(&b, "", results)
 		reportFooter(&b, "", skipped)
 	case "csv":
 		b.WriteString(classify.CSVCI(cells))
@@ -62,12 +63,30 @@ func Report(st *Store, format string) (string, error) {
 		}
 	case "markdown", "md":
 		b.WriteString(classify.MarkdownCI(title, cells))
+		simFooter(&b, "> ", results)
 		reportFooter(&b, "> ", skipped)
 	default:
 		return "", fmt.Errorf("results: unknown report format %q (want %s)",
 			format, strings.Join(ReportFormats, ", "))
 	}
 	return b.String(), nil
+}
+
+// simFooter appends per-spec simulated I/O times to human-readable formats
+// when any spec ran on a latency-modeled world. Unmodeled stores (the
+// default) emit nothing, keeping legacy report goldens byte-identical.
+func simFooter(b *strings.Builder, prefix string, results []core.CampaignResult) {
+	var lines []string
+	for _, r := range results {
+		if r.SimNanos > 0 {
+			lines = append(lines, fmt.Sprintf("%s %.3fms", r.Workload,
+				float64(r.SimNanos)/1e6))
+		}
+	}
+	if len(lines) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "%ssimulated I/O time: %s\n", prefix, strings.Join(lines, ", "))
 }
 
 // reportFooter appends the missing-spec note to human-readable formats.

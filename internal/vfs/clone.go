@@ -58,11 +58,27 @@ func (m *MemFS) Clone() *MemFS {
 // CloneFS implements Cloner.
 func (m *MemFS) CloneFS() (FS, error) { return m.Clone(), nil }
 
+// cloneBackend snapshots one backend through the Cloner contract. A
+// backend that implements Cloner answers for itself — OSFS implements the
+// interface precisely to return ErrNotClonable explicitly, so callers see
+// the real refusal rather than a failed type assertion — while a backend
+// that doesn't is refused here with the same sentinel. Either way the
+// declared capability set tells the story up front: a backend without
+// CapClone never produces a snapshot.
+func cloneBackend(fs FS) (FS, error) {
+	c, ok := fs.(Cloner)
+	if !ok {
+		return nil, ErrNotClonable
+	}
+	return c.CloneFS()
+}
+
 // Clone returns a copy-on-write snapshot of the mounted world: the mount
 // table is preserved entry for entry, with every backend replaced by its own
-// clone. All backends must implement Cloner (ErrNotClonable otherwise), and
-// an interposed view (WithInterposed) cannot be cloned — snapshots are taken
-// of pristine worlds, before any injector or profiler is layered on.
+// clone. Every backend must support cloning (see CapClone; the error wraps
+// ErrNotClonable otherwise), and an interposed view (WithInterposed) cannot
+// be cloned — snapshots are taken of pristine worlds, before any injector
+// or profiler is layered on.
 func (m *MountFS) Clone() (*MountFS, error) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
@@ -71,11 +87,7 @@ func (m *MountFS) Clone() (*MountFS, error) {
 		if mp.abs {
 			return nil, &PathError{Op: "clone", Path: mp.path, Err: errors.New("vfs: cannot clone an interposed view")}
 		}
-		c, ok := mp.fs.(Cloner)
-		if !ok {
-			return nil, &PathError{Op: "clone", Path: mp.path, Err: ErrNotClonable}
-		}
-		fs, err := c.CloneFS()
+		fs, err := cloneBackend(mp.fs)
 		if err != nil {
 			return nil, &PathError{Op: "clone", Path: mp.path, Err: err}
 		}

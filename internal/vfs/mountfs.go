@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Mount-table sentinel errors. ErrCrossMount is the EXDEV of this layer:
@@ -452,7 +453,54 @@ func (m *MountFS) Truncate(name string, size int64) error {
 	return mp.fs.Truncate(rel, size)
 }
 
+// Capabilities declares the capability profile of the mounted world:
+// CapClone and CapByteAddressable hold only when every backend in the
+// table has them (the world clones iff all its tiers clone; one
+// whole-object tier makes the world partially whole-object), while
+// CapLatencyModeled holds when any tier charges a simulated clock (the
+// world then has meaningful simulated time).
+func (m *MountFS) Capabilities() Capability {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	caps := CapClone | CapByteAddressable
+	var modeled Capability
+	for _, mp := range m.mounts {
+		c := CapabilitiesOf(mp.fs)
+		caps &= c
+		modeled |= c & CapLatencyModeled
+	}
+	return caps | modeled
+}
+
+// SimElapsed implements SimClocked by summing the simulated clocks of
+// every latency-modeled backend in the table. Unclocked tiers contribute
+// zero, so a world with no latency-modeled mount reports zero.
+func (m *MountFS) SimElapsed() time.Duration {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var total time.Duration
+	for _, mp := range m.mounts {
+		if c, ok := mp.fs.(SimClocked); ok {
+			total += c.SimElapsed()
+		}
+	}
+	return total
+}
+
+// ResetSim implements SimClocked by resetting every clocked backend.
+func (m *MountFS) ResetSim() {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for _, mp := range m.mounts {
+		if c, ok := mp.fs.(SimClocked); ok {
+			c.ResetSim()
+		}
+	}
+}
+
 var (
-	_ FS   = (*MountFS)(nil)
-	_ File = (*mountFile)(nil)
+	_ FS                 = (*MountFS)(nil)
+	_ File               = (*mountFile)(nil)
+	_ CapabilityReporter = (*MountFS)(nil)
+	_ SimClocked         = (*MountFS)(nil)
 )

@@ -1,11 +1,13 @@
 package vfs
 
 import (
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"syscall"
 )
 
 // OSFS implements FS on top of a real directory tree, the moral equivalent
@@ -19,6 +21,55 @@ type OSFS struct {
 // NewOSFS returns a file system rooted at dir.
 func NewOSFS(dir string) *OSFS { return &OSFS{Root: dir} }
 
+// Capabilities declares OSFS's backend profile: byte-addressable, but not
+// clonable — its state lives outside the process, so there is no cheap COW
+// snapshot (see CloneFS) — and not latency-modeled (its latency is real).
+func (o *OSFS) Capabilities() Capability { return CapByteAddressable }
+
+// CloneFS implements Cloner by refusing: OSFS cannot snapshot a real
+// directory tree as a copy-on-write clone. Implementing the interface
+// anyway lets MountFS.Clone and core's snapshot probe surface the honest
+// ErrNotClonable (callers then fall back to rebuild-per-run) instead of
+// inferring it from a missing method.
+func (o *OSFS) CloneFS() (FS, error) {
+	return nil, &PathError{Op: "clone", Path: "/", Err: ErrNotClonable}
+}
+
+// osError pairs a host-OS error with the package sentinel it corresponds
+// to: errors.Is matches either, and the message stays the host's.
+type osError struct {
+	err      error
+	sentinel error
+}
+
+func (e *osError) Error() string   { return e.err.Error() }
+func (e *osError) Unwrap() []error { return []error{e.err, e.sentinel} }
+
+// osErr maps host-OS error shapes onto this package's sentinels so OSFS
+// satisfies the same behavioral contract as the hermetic backends:
+// errors.Is(err, ErrNotDir) holds whether the backend is MemFS or a real
+// ext4 tree. ErrNotExist and ErrExist need no mapping (they alias io/fs,
+// which the os package already wraps); the errno-shaped conditions do.
+func osErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	for _, m := range []struct {
+		host     error
+		sentinel error
+	}{
+		{os.ErrClosed, ErrClosed},
+		{syscall.ENOTDIR, ErrNotDir},
+		{syscall.ENOTEMPTY, ErrDirNotEmpty},
+		{syscall.EISDIR, ErrIsDir},
+	} {
+		if errors.Is(err, m.host) {
+			return &osError{err: err, sentinel: m.sentinel}
+		}
+	}
+	return err
+}
+
 // resolve maps a virtual path onto the host file system, confining it to
 // Root (".." escapes are squashed by Clean's rooted normalization).
 func (o *OSFS) resolve(name string) string {
@@ -30,7 +81,7 @@ func (o *OSFS) resolve(name string) string {
 func (o *OSFS) Create(name string) (File, error) {
 	f, err := os.OpenFile(o.resolve(name), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
-		return nil, err
+		return nil, osErr(err)
 	}
 	return &osFile{name: Clean(name), f: f}, nil
 }
@@ -39,7 +90,7 @@ func (o *OSFS) Create(name string) (File, error) {
 func (o *OSFS) Open(name string) (File, error) {
 	f, err := os.Open(o.resolve(name))
 	if err != nil {
-		return nil, err
+		return nil, osErr(err)
 	}
 	return &osFile{name: Clean(name), f: f, readOnly: true}, nil
 }
@@ -49,37 +100,37 @@ func (o *OSFS) Append(name string) (File, error) {
 	// O_APPEND would defeat WriteAt, so seek manually instead.
 	f, err := os.OpenFile(o.resolve(name), os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
-		return nil, err
+		return nil, osErr(err)
 	}
 	if _, err := f.Seek(0, io.SeekEnd); err != nil {
 		f.Close()
-		return nil, err
+		return nil, osErr(err)
 	}
 	return &osFile{name: Clean(name), f: f}, nil
 }
 
 // Mkdir creates one directory level.
-func (o *OSFS) Mkdir(name string) error { return os.Mkdir(o.resolve(name), 0o755) }
+func (o *OSFS) Mkdir(name string) error { return osErr(os.Mkdir(o.resolve(name), 0o755)) }
 
 // MkdirAll creates name and any missing parents.
-func (o *OSFS) MkdirAll(name string) error { return os.MkdirAll(o.resolve(name), 0o755) }
+func (o *OSFS) MkdirAll(name string) error { return osErr(os.MkdirAll(o.resolve(name), 0o755)) }
 
 // Remove unlinks a file or empty directory.
-func (o *OSFS) Remove(name string) error { return os.Remove(o.resolve(name)) }
+func (o *OSFS) Remove(name string) error { return osErr(os.Remove(o.resolve(name))) }
 
 // RemoveAll removes name recursively; absent names are not an error.
-func (o *OSFS) RemoveAll(name string) error { return os.RemoveAll(o.resolve(name)) }
+func (o *OSFS) RemoveAll(name string) error { return osErr(os.RemoveAll(o.resolve(name))) }
 
 // Rename moves oldName to newName.
 func (o *OSFS) Rename(oldName, newName string) error {
-	return os.Rename(o.resolve(oldName), o.resolve(newName))
+	return osErr(os.Rename(o.resolve(oldName), o.resolve(newName)))
 }
 
 // Stat returns metadata for name.
 func (o *OSFS) Stat(name string) (FileInfo, error) {
 	fi, err := os.Stat(o.resolve(name))
 	if err != nil {
-		return FileInfo{}, err
+		return FileInfo{}, osErr(err)
 	}
 	return FileInfo{
 		Name:  fi.Name(),
@@ -93,7 +144,7 @@ func (o *OSFS) Stat(name string) (FileInfo, error) {
 func (o *OSFS) ReadDir(name string) ([]FileInfo, error) {
 	entries, err := os.ReadDir(o.resolve(name))
 	if err != nil {
-		return nil, err
+		return nil, osErr(err)
 	}
 	out := make([]FileInfo, 0, len(entries))
 	for _, e := range entries {
@@ -117,19 +168,19 @@ func (o *OSFS) ReadDir(name string) ([]FileInfo, error) {
 func (o *OSFS) Mknod(name string, mode uint32, dev uint64) error {
 	f, err := os.OpenFile(o.resolve(name), os.O_WRONLY|os.O_CREATE|os.O_EXCL, os.FileMode(mode&0o777))
 	if err != nil {
-		return err
+		return osErr(err)
 	}
-	return f.Close()
+	return osErr(f.Close())
 }
 
 // Chmod changes the permission bits of name.
 func (o *OSFS) Chmod(name string, mode uint32) error {
-	return os.Chmod(o.resolve(name), os.FileMode(mode&0o777))
+	return osErr(os.Chmod(o.resolve(name), os.FileMode(mode&0o777)))
 }
 
 // Truncate resizes name.
 func (o *OSFS) Truncate(name string, size int64) error {
-	return os.Truncate(o.resolve(name), size)
+	return osErr(os.Truncate(o.resolve(name), size))
 }
 
 type osFile struct {
@@ -140,48 +191,68 @@ type osFile struct {
 
 func (f *osFile) Name() string { return f.name }
 
-func (f *osFile) Read(p []byte) (int, error) { return f.f.Read(p) }
+func (f *osFile) Read(p []byte) (int, error) {
+	n, err := f.f.Read(p)
+	return n, readErr(err)
+}
 
-func (f *osFile) ReadAt(p []byte, off int64) (int, error) { return f.f.ReadAt(p, off) }
+func (f *osFile) ReadAt(p []byte, off int64) (int, error) {
+	n, err := f.f.ReadAt(p, off)
+	return n, readErr(err)
+}
+
+// readErr normalizes read-path errors while leaving io.EOF untouched (it
+// is a result, not a failure).
+func readErr(err error) error {
+	if err == io.EOF {
+		return err
+	}
+	return osErr(err)
+}
 
 func (f *osFile) Write(p []byte) (int, error) {
 	if f.readOnly {
 		return 0, ErrReadOnly
 	}
-	return f.f.Write(p)
+	n, err := f.f.Write(p)
+	return n, osErr(err)
 }
 
 func (f *osFile) WriteAt(p []byte, off int64) (int, error) {
 	if f.readOnly {
 		return 0, ErrReadOnly
 	}
-	return f.f.WriteAt(p, off)
+	n, err := f.f.WriteAt(p, off)
+	return n, osErr(err)
 }
 
 func (f *osFile) Seek(offset int64, whence int) (int64, error) {
-	return f.f.Seek(offset, whence)
+	pos, err := f.f.Seek(offset, whence)
+	return pos, osErr(err)
 }
 
 func (f *osFile) Truncate(size int64) error {
 	if f.readOnly {
 		return ErrReadOnly
 	}
-	return f.f.Truncate(size)
+	return osErr(f.f.Truncate(size))
 }
 
 func (f *osFile) Size() (int64, error) {
 	fi, err := f.f.Stat()
 	if err != nil {
-		return 0, err
+		return 0, osErr(err)
 	}
 	return fi.Size(), nil
 }
 
-func (f *osFile) Sync() error { return f.f.Sync() }
+func (f *osFile) Sync() error { return osErr(f.f.Sync()) }
 
-func (f *osFile) Close() error { return f.f.Close() }
+func (f *osFile) Close() error { return osErr(f.f.Close()) }
 
 var (
-	_ FS   = (*OSFS)(nil)
-	_ File = (*osFile)(nil)
+	_ FS                 = (*OSFS)(nil)
+	_ File               = (*osFile)(nil)
+	_ Cloner             = (*OSFS)(nil)
+	_ CapabilityReporter = (*OSFS)(nil)
 )

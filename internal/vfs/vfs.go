@@ -855,8 +855,13 @@ func (f *memFile) Close() error {
 	return nil
 }
 
+// Capabilities declares MemFS's backend profile: copy-on-write clonable
+// and byte-addressable (extent-granular writes).
+func (m *MemFS) Capabilities() Capability { return CapClone | CapByteAddressable }
+
 // interface conformance checks
 var (
-	_ FS   = (*MemFS)(nil)
-	_ File = (*memFile)(nil)
+	_ FS                 = (*MemFS)(nil)
+	_ File               = (*memFile)(nil)
+	_ CapabilityReporter = (*MemFS)(nil)
 )

@@ -3,8 +3,6 @@ package vfs
 import (
 	"bytes"
 	"errors"
-	"io"
-	"sync"
 	"testing"
 	"testing/quick"
 
@@ -24,425 +22,6 @@ func TestCleanNormalizes(t *testing.T) {
 	for in, want := range cases {
 		if got := Clean(in); got != want {
 			t.Errorf("Clean(%q) = %q, want %q", in, got, want)
-		}
-	}
-}
-
-func TestCreateWriteReadBack(t *testing.T) {
-	fs := NewMemFS()
-	if err := WriteFile(fs, "/hello.txt", []byte("storage faults")); err != nil {
-		t.Fatal(err)
-	}
-	got, err := ReadFile(fs, "/hello.txt")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if string(got) != "storage faults" {
-		t.Fatalf("read %q", got)
-	}
-}
-
-func TestCreateTruncatesExisting(t *testing.T) {
-	fs := NewMemFS()
-	if err := WriteFile(fs, "/f", []byte("long old content")); err != nil {
-		t.Fatal(err)
-	}
-	if err := WriteFile(fs, "/f", []byte("new")); err != nil {
-		t.Fatal(err)
-	}
-	got, _ := ReadFile(fs, "/f")
-	if string(got) != "new" {
-		t.Fatalf("got %q", got)
-	}
-}
-
-func TestOpenMissingFile(t *testing.T) {
-	fs := NewMemFS()
-	_, err := fs.Open("/nope")
-	if !errors.Is(err, ErrNotExist) {
-		t.Fatalf("err = %v, want ErrNotExist", err)
-	}
-}
-
-func TestCreateInMissingDir(t *testing.T) {
-	fs := NewMemFS()
-	_, err := fs.Create("/no/such/dir/file")
-	if !errors.Is(err, ErrNotExist) {
-		t.Fatalf("err = %v", err)
-	}
-}
-
-func TestMkdirAndNesting(t *testing.T) {
-	fs := NewMemFS()
-	if err := fs.Mkdir("/a"); err != nil {
-		t.Fatal(err)
-	}
-	if err := fs.Mkdir("/a"); !errors.Is(err, ErrExist) {
-		t.Fatalf("second mkdir err = %v", err)
-	}
-	if err := fs.Mkdir("/a/b/c"); !errors.Is(err, ErrNotExist) {
-		t.Fatalf("deep mkdir err = %v", err)
-	}
-	if err := fs.MkdirAll("/a/b/c"); err != nil {
-		t.Fatal(err)
-	}
-	info, err := fs.Stat("/a/b/c")
-	if err != nil || !info.IsDir {
-		t.Fatalf("stat: %v %+v", err, info)
-	}
-	// MkdirAll through an existing file must fail.
-	if err := WriteFile(fs, "/a/file", []byte("x")); err != nil {
-		t.Fatal(err)
-	}
-	if err := fs.MkdirAll("/a/file/sub"); !errors.Is(err, ErrNotDir) {
-		t.Fatalf("MkdirAll through file err = %v", err)
-	}
-}
-
-func TestWriteAtSparseGrowth(t *testing.T) {
-	fs := NewMemFS()
-	f, err := fs.Create("/sparse")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := f.WriteAt([]byte("tail"), 100); err != nil {
-		t.Fatal(err)
-	}
-	size, _ := f.Size()
-	if size != 104 {
-		t.Fatalf("size = %d, want 104", size)
-	}
-	buf := make([]byte, 104)
-	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(buf[:100], make([]byte, 100)) {
-		t.Fatal("hole was not zero-filled")
-	}
-	if string(buf[100:]) != "tail" {
-		t.Fatalf("tail = %q", buf[100:])
-	}
-}
-
-func TestWriteAtDoesNotMoveSequentialOffset(t *testing.T) {
-	fs := NewMemFS()
-	f, _ := fs.Create("/f")
-	if _, err := f.Write([]byte("abc")); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := f.WriteAt([]byte("ZZZ"), 10); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := f.Write([]byte("def")); err != nil {
-		t.Fatal(err)
-	}
-	f.Close()
-	got, _ := ReadFile(fs, "/f")
-	want := append([]byte("abcdef"), 0, 0, 0, 0)
-	want = append(want, []byte("ZZZ")...)
-	// sequential writes produce abcdef at 0..5; ZZZ at 10..12
-	if !bytes.Equal(got[:6], []byte("abcdef")) || string(got[10:13]) != "ZZZ" {
-		t.Fatalf("content = %q (want abcdef....ZZZ)", got)
-	}
-	_ = want
-}
-
-func TestSeekSemantics(t *testing.T) {
-	fs := NewMemFS()
-	f, _ := fs.Create("/f")
-	f.Write([]byte("0123456789"))
-	if pos, err := f.Seek(2, io.SeekStart); err != nil || pos != 2 {
-		t.Fatalf("seek start: %v %d", err, pos)
-	}
-	b := make([]byte, 3)
-	f.Read(b)
-	if string(b) != "234" {
-		t.Fatalf("read after seek = %q", b)
-	}
-	if pos, _ := f.Seek(-1, io.SeekEnd); pos != 9 {
-		t.Fatalf("seek end pos = %d", pos)
-	}
-	if pos, _ := f.Seek(1, io.SeekCurrent); pos != 10 {
-		t.Fatalf("seek current pos = %d", pos)
-	}
-	if _, err := f.Seek(-100, io.SeekStart); err == nil {
-		t.Fatal("negative seek should fail")
-	}
-	if _, err := f.Seek(0, 42); err == nil {
-		t.Fatal("bad whence should fail")
-	}
-}
-
-func TestReadOnlyHandleRejectsWrites(t *testing.T) {
-	fs := NewMemFS()
-	WriteFile(fs, "/f", []byte("data"))
-	f, _ := fs.Open("/f")
-	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrReadOnly) {
-		t.Fatalf("write err = %v", err)
-	}
-	if _, err := f.WriteAt([]byte("x"), 0); !errors.Is(err, ErrReadOnly) {
-		t.Fatalf("writeat err = %v", err)
-	}
-	if err := f.Truncate(0); !errors.Is(err, ErrReadOnly) {
-		t.Fatalf("truncate err = %v", err)
-	}
-}
-
-func TestClosedHandleFails(t *testing.T) {
-	fs := NewMemFS()
-	f, _ := fs.Create("/f")
-	f.Close()
-	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrClosed) {
-		t.Fatalf("write err = %v", err)
-	}
-	if _, err := f.Read(make([]byte, 1)); !errors.Is(err, ErrClosed) {
-		t.Fatalf("read err = %v", err)
-	}
-	if err := f.Close(); !errors.Is(err, ErrClosed) {
-		t.Fatalf("double close err = %v", err)
-	}
-}
-
-func TestAppendMode(t *testing.T) {
-	fs := NewMemFS()
-	WriteFile(fs, "/log", []byte("line1\n"))
-	f, err := fs.Append("/log")
-	if err != nil {
-		t.Fatal(err)
-	}
-	f.Write([]byte("line2\n"))
-	f.Close()
-	got, _ := ReadFile(fs, "/log")
-	if string(got) != "line1\nline2\n" {
-		t.Fatalf("got %q", got)
-	}
-	// Append creates missing files.
-	f2, err := fs.Append("/fresh")
-	if err != nil {
-		t.Fatal(err)
-	}
-	f2.Write([]byte("x"))
-	f2.Close()
-	if !Exists(fs, "/fresh") {
-		t.Fatal("append did not create file")
-	}
-}
-
-func TestRemoveSemantics(t *testing.T) {
-	fs := NewMemFS()
-	fs.MkdirAll("/d/sub")
-	WriteFile(fs, "/d/sub/f", []byte("x"))
-	if err := fs.Remove("/d"); !errors.Is(err, ErrDirNotEmpty) {
-		t.Fatalf("remove non-empty err = %v", err)
-	}
-	if err := fs.Remove("/d/sub/f"); err != nil {
-		t.Fatal(err)
-	}
-	if err := fs.Remove("/d/sub"); err != nil {
-		t.Fatal(err)
-	}
-	if err := fs.Remove("/missing"); !errors.Is(err, ErrNotExist) {
-		t.Fatalf("remove missing err = %v", err)
-	}
-}
-
-func TestRemoveAll(t *testing.T) {
-	fs := NewMemFS()
-	fs.MkdirAll("/d/a/b")
-	WriteFile(fs, "/d/a/b/f1", []byte("1"))
-	WriteFile(fs, "/d/f2", []byte("2"))
-	WriteFile(fs, "/dz", []byte("sibling, must survive"))
-	if err := fs.RemoveAll("/d"); err != nil {
-		t.Fatal(err)
-	}
-	if Exists(fs, "/d") || Exists(fs, "/d/f2") {
-		t.Fatal("RemoveAll left entries")
-	}
-	if !Exists(fs, "/dz") {
-		t.Fatal("RemoveAll deleted prefix-sharing sibling /dz")
-	}
-	if err := fs.RemoveAll("/never-existed"); err != nil {
-		t.Fatalf("RemoveAll of absent path: %v", err)
-	}
-}
-
-func TestRenameFileAndDir(t *testing.T) {
-	fs := NewMemFS()
-	WriteFile(fs, "/old", []byte("content"))
-	if err := fs.Rename("/old", "/new"); err != nil {
-		t.Fatal(err)
-	}
-	if Exists(fs, "/old") {
-		t.Fatal("old name still exists")
-	}
-	got, _ := ReadFile(fs, "/new")
-	if string(got) != "content" {
-		t.Fatalf("content = %q", got)
-	}
-
-	fs.MkdirAll("/dir/sub")
-	WriteFile(fs, "/dir/sub/f", []byte("deep"))
-	if err := fs.Rename("/dir", "/moved"); err != nil {
-		t.Fatal(err)
-	}
-	got, err := ReadFile(fs, "/moved/sub/f")
-	if err != nil || string(got) != "deep" {
-		t.Fatalf("deep rename: %v %q", err, got)
-	}
-	if err := fs.Rename("/missing", "/x"); !errors.Is(err, ErrNotExist) {
-		t.Fatalf("rename missing err = %v", err)
-	}
-}
-
-func TestReadDirSortedAndShallow(t *testing.T) {
-	fs := NewMemFS()
-	fs.MkdirAll("/p/deep")
-	WriteFile(fs, "/p/b", []byte("1"))
-	WriteFile(fs, "/p/a", []byte("22"))
-	WriteFile(fs, "/p/deep/hidden", []byte("x"))
-	infos, err := fs.ReadDir("/p")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(infos) != 3 {
-		t.Fatalf("got %d entries", len(infos))
-	}
-	if infos[0].Name != "a" || infos[1].Name != "b" || infos[2].Name != "deep" {
-		t.Fatalf("order: %+v", infos)
-	}
-	if infos[1].Size != 1 || infos[0].Size != 2 {
-		t.Fatalf("sizes: %+v", infos)
-	}
-	if !infos[2].IsDir {
-		t.Fatal("deep should be a dir")
-	}
-}
-
-func TestMknodAndChmod(t *testing.T) {
-	fs := NewMemFS()
-	if err := fs.Mknod("/dev0", 0o600, 42); err != nil {
-		t.Fatal(err)
-	}
-	if err := fs.Mknod("/dev0", 0o600, 42); !errors.Is(err, ErrExist) {
-		t.Fatalf("dup mknod err = %v", err)
-	}
-	info, _ := fs.Stat("/dev0")
-	if info.Mode != 0o600 {
-		t.Fatalf("mode = %o", info.Mode)
-	}
-	if err := fs.Chmod("/dev0", 0o444); err != nil {
-		t.Fatal(err)
-	}
-	info, _ = fs.Stat("/dev0")
-	if info.Mode != 0o444 {
-		t.Fatalf("mode after chmod = %o", info.Mode)
-	}
-	if err := fs.Chmod("/missing", 0o444); !errors.Is(err, ErrNotExist) {
-		t.Fatalf("chmod missing err = %v", err)
-	}
-}
-
-func TestTruncatePath(t *testing.T) {
-	fs := NewMemFS()
-	WriteFile(fs, "/f", []byte("0123456789"))
-	if err := fs.Truncate("/f", 4); err != nil {
-		t.Fatal(err)
-	}
-	got, _ := ReadFile(fs, "/f")
-	if string(got) != "0123" {
-		t.Fatalf("got %q", got)
-	}
-	if err := fs.Truncate("/f", 8); err != nil {
-		t.Fatal(err)
-	}
-	got, _ = ReadFile(fs, "/f")
-	if !bytes.Equal(got, []byte{'0', '1', '2', '3', 0, 0, 0, 0}) {
-		t.Fatalf("grow: %q", got)
-	}
-	if err := fs.Truncate("/f", -1); err == nil {
-		t.Fatal("negative truncate should fail")
-	}
-}
-
-func TestWalkVisitsAllFiles(t *testing.T) {
-	fs := NewMemFS()
-	fs.MkdirAll("/a/b")
-	WriteFile(fs, "/a/1", []byte("x"))
-	WriteFile(fs, "/a/b/2", []byte("y"))
-	WriteFile(fs, "/top", []byte("z"))
-	var seen []string
-	err := Walk(fs, "/", func(p string, info FileInfo) error {
-		seen = append(seen, p)
-		return nil
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(seen) != 3 {
-		t.Fatalf("walk saw %v", seen)
-	}
-}
-
-func TestConcurrentWriters(t *testing.T) {
-	fs := NewMemFS()
-	const workers = 8
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			name := "/file" + string(rune('a'+id))
-			for i := 0; i < 100; i++ {
-				if err := WriteFile(fs, name, bytes.Repeat([]byte{byte(id)}, 128)); err != nil {
-					t.Error(err)
-					return
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	for w := 0; w < workers; w++ {
-		got, err := ReadFile(fs, "/file"+string(rune('a'+w)))
-		if err != nil {
-			t.Fatal(err)
-		}
-		if len(got) != 128 || got[0] != byte(w) {
-			t.Fatalf("worker %d content corrupted", w)
-		}
-	}
-}
-
-func TestConcurrentHandlesSameFile(t *testing.T) {
-	fs := NewMemFS()
-	WriteFile(fs, "/shared", make([]byte, 4096))
-	var wg sync.WaitGroup
-	for w := 0; w < 8; w++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			f, err := fs.Append("/shared")
-			if err != nil {
-				t.Error(err)
-				return
-			}
-			defer f.Close()
-			for i := 0; i < 50; i++ {
-				chunk := bytes.Repeat([]byte{byte(id + 1)}, 512)
-				if _, err := f.WriteAt(chunk, int64(id)*512); err != nil {
-					t.Error(err)
-					return
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	got, _ := ReadFile(fs, "/shared")
-	for w := 0; w < 8; w++ {
-		seg := got[w*512 : (w+1)*512]
-		for _, b := range seg {
-			if b != byte(w+1) {
-				t.Fatalf("segment %d corrupted: %d", w, b)
-			}
 		}
 	}
 }
@@ -487,23 +66,6 @@ func TestQuickReadAfterWrite(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
-	}
-}
-
-func TestReadAtPastEOF(t *testing.T) {
-	fs := NewMemFS()
-	WriteFile(fs, "/f", []byte("abc"))
-	f, _ := fs.Open("/f")
-	buf := make([]byte, 10)
-	n, err := f.ReadAt(buf, 1)
-	if n != 2 || err != io.EOF {
-		t.Fatalf("short read n=%d err=%v", n, err)
-	}
-	if _, err := f.ReadAt(buf, 99); err != io.EOF {
-		t.Fatalf("past-eof err = %v", err)
-	}
-	if _, err := f.ReadAt(buf, -1); err == nil {
-		t.Fatal("negative offset should fail")
 	}
 }
 
