@@ -10,7 +10,10 @@
 //     (budget − executed runs at the target Wilson half-width);
 //   - wall-clock time of a tiered MT2 placement sweep across the three
 //     hermetic backends (mem, object, latency) — the cost of re-running a
-//     placement grid under every backend the mount table can host.
+//     placement grid under every backend the mount table can host;
+//   - wall-clock time of a small MT1 grid through the campaignd
+//     coordinator with three loopback workers vs the same grid run
+//     locally — the protocol overhead of the distributed campaign path.
 //
 // CI's bench-smoke job runs it on every push and uploads the refreshed
 // file as a build artifact; committed points form the long-term trajectory
@@ -26,16 +29,21 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
+	"ffis/internal/campaignd"
 	"ffis/internal/core"
 	"ffis/internal/experiments"
+	"ffis/internal/results"
 	"ffis/internal/stats"
 	"ffis/internal/vfs"
 )
@@ -71,6 +79,14 @@ type point struct {
 	// older points decodable as zero and excluded from the -check gate.
 	TieredBackendSweepMS int64 `json:"tiered_backend_sweep_ms,omitempty"`
 
+	// The same small grid run once locally and once through the campaignd
+	// coordinator with three loopback workers — the HTTP leasing, strict-
+	// order ingest, and re-marshal overhead of the distributed path. The
+	// distributed time is the gated metric; the local time rides along for
+	// the ratio. omitempty keeps older points decodable as zero.
+	Distributed3WorkerMS int64 `json:"distributed_3worker_vs_local_ms,omitempty"`
+	DistributedLocalMS   int64 `json:"distributed_local_ms,omitempty"`
+
 	Adaptive adaptivePoint `json:"adaptive"`
 }
 
@@ -96,7 +112,7 @@ func main() {
 		note    = flag.String("note", "", "free-form annotation stored with the point")
 		dry     = flag.Bool("dry-run", false, "print the measured point without touching -out")
 		check   = flag.Bool("check", false, "fail (exit 1) when the fresh point regresses more than -max-regress against the last entry in -out")
-		regress = flag.Float64("max-regress", 0.30, "fractional regression of fig7_grid_engine_ms, mt4_campaign_cow_ms, or tiered_backend_sweep_ms tolerated by -check")
+		regress = flag.Float64("max-regress", 0.30, "fractional regression of fig7_grid_engine_ms, mt4_campaign_cow_ms, tiered_backend_sweep_ms, or distributed_3worker_vs_local_ms tolerated by -check")
 	)
 	flag.Parse()
 
@@ -160,6 +176,7 @@ func checkRegression(prior []json.RawMessage, p point, frac float64) error {
 		{"fig7_grid_engine_ms", last.Fig7EngineMS, p.Fig7EngineMS},
 		{"mt4_campaign_cow_ms", last.MT4CowMS, p.MT4CowMS},
 		{"tiered_backend_sweep_ms", last.TieredBackendSweepMS, p.TieredBackendSweepMS},
+		{"distributed_3worker_vs_local_ms", last.Distributed3WorkerMS, p.Distributed3WorkerMS},
 	} {
 		// Prior points written before a metric existed decode it as zero;
 		// skip rather than compare against nothing.
@@ -259,6 +276,15 @@ func measure(runs int, seed uint64, nyxN int, target float64, budget int) (point
 	}
 	p.TieredBackendSweepMS = time.Since(t0).Milliseconds()
 
+	// The distributed overhead: the same small grid once on the local
+	// engine and once through a loopback coordinator with three workers.
+	if local, dist, err := measureDistributed(runs, seed); err != nil {
+		return p, fmt.Errorf("distributed grid: %w", err)
+	} else {
+		p.DistributedLocalMS = local
+		p.Distributed3WorkerMS = dist
+	}
+
 	// The runs-saved counter, on the acceptance-criterion cell: MT2 under
 	// unreadable-sector converges at the first barrier, so the saving is
 	// large and stable; balanced write-model cells would report zero saved
@@ -281,6 +307,96 @@ func measure(runs int, seed uint64, nyxN int, target float64, budget int) (point
 		RunsSaved:       budget - spent,
 	}
 	return p, nil
+}
+
+// measureDistributed times one small MT1 grid (three fault models) run
+// locally against the same grid run through a campaignd coordinator with
+// three in-process workers over loopback HTTP. Both paths go through the
+// same canonical spec builder, so the difference is pure protocol
+// overhead: leasing, heartbeats, batched uploads, strict-order ingest and
+// canonical re-marshal on the coordinator.
+func measureDistributed(runs int, seed uint64) (localMS, distMS int64, err error) {
+	var specs []experiments.WireSpec
+	for _, model := range []string{"bit-flip", "shorn-write", "dropped-write"} {
+		specs = append(specs, experiments.WireSpec{Cell: "MT1", Model: model, Runs: runs, Seed: seed})
+	}
+	man, err := campaignd.ManifestFor(specs)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	localDir, err := os.MkdirTemp("", "benchgrid-local-*")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(localDir)
+	st, err := results.Create(localDir, man)
+	if err != nil {
+		return 0, 0, err
+	}
+	cspecs := make([]core.CampaignSpec, len(specs))
+	for i, ws := range specs {
+		if cspecs[i], err = ws.CampaignSpec(); err != nil {
+			return 0, 0, err
+		}
+	}
+	t0 := time.Now()
+	grid, err := results.RunGrid(&core.Engine{Jobs: 1}, st, results.Shard{}, cspecs)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, r := range grid {
+		if r.Err != nil {
+			return 0, 0, fmt.Errorf("local %s: %w", r.Spec.Key, r.Err)
+		}
+	}
+	localMS = time.Since(t0).Milliseconds()
+
+	distDir, err := os.MkdirTemp("", "benchgrid-dist-*")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(distDir)
+	dst, err := results.Create(distDir, man)
+	if err != nil {
+		return 0, 0, err
+	}
+	coord, err := campaignd.NewCoordinator(dst, specs, time.Minute)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer coord.Close()
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	t0 = time.Now()
+	errs := make([]error, 3)
+	var wg sync.WaitGroup
+	for i := range errs {
+		w := &campaignd.Worker{
+			ID:          fmt.Sprintf("bench-w%d", i+1),
+			Coordinator: srv.URL,
+			Jobs:        1,
+			Poll:        10 * time.Millisecond,
+			Heartbeat:   100 * time.Millisecond,
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = w.Run(context.Background())
+		}(i)
+	}
+	wg.Wait()
+	for i, werr := range errs {
+		if werr != nil {
+			return 0, 0, fmt.Errorf("worker %d: %w", i+1, werr)
+		}
+	}
+	if !coord.Done() {
+		return 0, 0, fmt.Errorf("distributed grid did not complete")
+	}
+	distMS = time.Since(t0).Milliseconds()
+	return localMS, distMS, nil
 }
 
 // cloneFirstWriteUS times MemFS.Clone plus one 4 KiB write on the clone,

@@ -114,6 +114,10 @@ func main() {
 	if *progress {
 		o.Progress = experiments.ProgressPrinter(os.Stderr)
 	}
+	// Share one engine across every sweep this invocation runs (-all runs
+	// several), so each distinct world's Setup and profile pass execute
+	// once per process instead of once per sweep.
+	o.Engine = o.NewEngine()
 	if *adaptive > 0 {
 		if *shardStr != "" {
 			// A shard owns every n-th run index, never a complete prefix, so

@@ -1,0 +1,66 @@
+// Command ffis-worker is the compute side of the distributed campaign
+// service: it polls a campaignd coordinator for work leases, rebuilds
+// each leased spec's world from its wire form (same cell registry, same
+// backend grammar, same seed discipline as a local run), executes the
+// leased run indices on the local campaign engine, and streams finished
+// records back in strict index order. When the coordinator reports the
+// grid complete, the worker exits 0.
+//
+// Usage:
+//
+//	ffis-worker -coordinator http://head-node:8080
+//	ffis-worker -coordinator http://head-node:8080 -id node7 -jobs 16
+//
+// Determinism makes workers interchangeable: every record is a pure
+// function of (spec, seed, run index), so it does not matter which worker
+// runs which indices, how many workers there are, or how often one dies —
+// the coordinator's store always converges to the single-machine bytes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ffis/internal/campaignd"
+)
+
+func main() {
+	var (
+		coordinator = flag.String("coordinator", "http://localhost:8080", "campaignd base URL")
+		id          = flag.String("id", "", "worker id shown in coordinator progress (default host-pid)")
+		jobs        = flag.Int("jobs", 0, "engine pool width (0 = GOMAXPROCS)")
+		pollEvery   = flag.Duration("poll", 500*time.Millisecond, "wait between lease polls when no work is available")
+		heartbeat   = flag.Duration("heartbeat", 0, "lease renewal interval (0 = a third of the granted TTL)")
+		batch       = flag.Int("batch", 64, "records per upload batch")
+		quiet       = flag.Bool("quiet", false, "suppress per-lease progress lines")
+	)
+	flag.Parse()
+
+	if *id == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		*id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	w := &campaignd.Worker{
+		ID:          *id,
+		Coordinator: *coordinator,
+		Jobs:        *jobs,
+		Poll:        *pollEvery,
+		Heartbeat:   *heartbeat,
+		Batch:       *batch,
+	}
+	if !*quiet {
+		w.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	if err := w.Run(context.Background()); err != nil {
+		fmt.Fprintf(os.Stderr, "ffis-worker: %v\n", err)
+		os.Exit(1)
+	}
+}

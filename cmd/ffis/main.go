@@ -191,13 +191,20 @@ func main() {
 	if *progress {
 		opts.Progress = experiments.ProgressPrinter(os.Stderr)
 	}
+	// One engine for everything this invocation runs, so world snapshots
+	// and profile passes memoize across grids instead of per call.
+	opts.Engine = opts.NewEngine()
 	if *outDir != "" {
 		shard, err := results.ParseShard(*shardSpec)
 		if err != nil {
 			fail(err)
 		}
+		manBackend := *backend
+		if manBackend == "mem" {
+			manBackend = ""
+		}
 		st, err := results.CreateOrResume(*outDir, *resume, results.Manifest{
-			Seed: *seed, Runs: *runs, Shard: shard.String(),
+			Seed: *seed, Runs: *runs, Shard: shard.String(), Backend: manBackend,
 		})
 		if err != nil {
 			fail(err)

@@ -1,0 +1,168 @@
+package campaignd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"ffis/internal/experiments"
+	"ffis/internal/results"
+)
+
+// Wire types of the coordinator protocol. Everything is JSON over HTTP —
+// net/http and encoding/json only, matching the repository's no-new-deps
+// rule — and every request that mutates state names its lease, which is
+// the protocol's only fencing token: a revoked lease gets 410 Gone and
+// the worker abandons the spec.
+
+// LeaseRequest asks for the next pending spec.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// LeaseGrant is a granted work lease: run indices [Start, Spec.Runs) of
+// Spec, valid while heartbeats arrive within the TTL.
+type LeaseGrant struct {
+	LeaseID   string               `json:"lease_id"`
+	Spec      experiments.WireSpec `json:"spec"`
+	Start     int                  `json:"start"`
+	TTLMillis int64                `json:"ttl_ms"`
+}
+
+// LeaseResponse wraps a grant with the two no-work cases: Done (grid
+// finished, worker should exit) and Retry (everything leased out or
+// awaiting expiry, poll again).
+type LeaseResponse struct {
+	Done  bool        `json:"done,omitempty"`
+	Retry bool        `json:"retry,omitempty"`
+	Grant *LeaseGrant `json:"grant,omitempty"`
+}
+
+// HeartbeatRequest extends a lease.
+type HeartbeatRequest struct {
+	LeaseID string `json:"lease_id"`
+}
+
+// RecordsRequest streams a batch of finished records. Header rides along
+// on the lease's first batch only.
+type RecordsRequest struct {
+	LeaseID string           `json:"lease_id"`
+	Header  *results.Header  `json:"header,omitempty"`
+	Records []results.Record `json:"records,omitempty"`
+}
+
+// CompleteRequest finalizes a fully delivered spec.
+type CompleteRequest struct {
+	LeaseID string `json:"lease_id"`
+}
+
+// ProgressResponse is the live grid view.
+type ProgressResponse struct {
+	Done  bool           `json:"done"`
+	Specs []SpecProgress `json:"specs"`
+}
+
+// Handler exposes the coordinator over HTTP:
+//
+//	POST /lease      LeaseRequest     -> LeaseResponse
+//	POST /heartbeat  HeartbeatRequest -> 204 | 410
+//	POST /records    RecordsRequest   -> 204 | 409 | 410
+//	POST /complete   CompleteRequest  -> 204 | 409 | 410
+//	GET  /progress                    -> ProgressResponse
+//	GET  /report?format=text|csv|json|markdown -> rendered report
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/lease", func(w http.ResponseWriter, r *http.Request) {
+		var req LeaseRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		grant, ok, done, err := c.Lease(req.Worker)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		resp := LeaseResponse{Done: done}
+		if ok {
+			resp.Grant = &grant
+		} else if !done {
+			resp.Retry = true
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req HeartbeatRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		if !c.Heartbeat(req.LeaseID) {
+			http.Error(w, errLeaseGone.Error(), http.StatusGone)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("/records", func(w http.ResponseWriter, r *http.Request) {
+		var req RecordsRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		if err := c.Ingest(req.LeaseID, req.Header, req.Records); err != nil {
+			http.Error(w, err.Error(), ingestStatus(err))
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("/complete", func(w http.ResponseWriter, r *http.Request) {
+		var req CompleteRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		if err := c.Complete(req.LeaseID); err != nil {
+			http.Error(w, err.Error(), ingestStatus(err))
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, ProgressResponse{Done: c.Done(), Specs: c.Progress()})
+	})
+	mux.HandleFunc("/report", func(w http.ResponseWriter, r *http.Request) {
+		out, err := c.Report(r.URL.Query().Get("format"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		io.WriteString(w, out)
+	})
+	return mux
+}
+
+// ingestStatus maps coordinator errors to HTTP: a dead lease is Gone (the
+// worker should walk away quietly), everything else about a live lease —
+// out-of-order records, header drift, store refusals — is a Conflict the
+// worker must treat as fatal for the spec.
+func ingestStatus(err error) int {
+	if errors.Is(err, errLeaseGone) {
+		return http.StatusGone
+	}
+	return http.StatusConflict
+}
+
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(w, fmt.Sprintf("campaignd: bad request body: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,330 @@
+package campaignd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"ffis/internal/core"
+	"ffis/internal/results"
+)
+
+// Worker executes leases against the local campaign engine and streams
+// finished records back to the coordinator. One worker process serves
+// many leases in sequence; the engine persists across them, so two leases
+// over the same world (same cell, different fault models) share one Setup
+// and one profile pass exactly like cells of a local grid.
+type Worker struct {
+	// ID names the worker in leases and progress views.
+	ID string
+	// Coordinator is the coordinator's base URL, e.g. "http://host:8080".
+	Coordinator string
+	// Client is the HTTP client; nil uses http.DefaultClient.
+	Client *http.Client
+	// Engine runs the campaigns; nil builds a private one from Jobs.
+	Engine *core.Engine
+	// Jobs bounds engine parallelism when Engine is nil (0 = GOMAXPROCS).
+	Jobs int
+	// Poll is how long to wait when the coordinator has nothing leasable
+	// (default 500ms).
+	Poll time.Duration
+	// Heartbeat is the lease-renewal interval; 0 derives TTL/3 from each
+	// grant.
+	Heartbeat time.Duration
+	// Batch caps records per POST /records (default 64).
+	Batch int
+	// FailAfterRecords, when positive, makes the worker die (Run returns
+	// an error) once it has streamed that many records on its current
+	// lease — the fault the end-to-end test injects to prove a killed
+	// worker's prefix is reused byte-identically.
+	FailAfterRecords int
+	// Log, when set, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+// errWorkerKilled is the simulated mid-lease death of FailAfterRecords.
+var errWorkerKilled = errors.New("campaignd: worker killed by FailAfterRecords test hook")
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Log != nil {
+		w.Log(format, args...)
+	}
+}
+
+func (w *Worker) engine() *core.Engine {
+	if w.Engine == nil {
+		w.Engine = &core.Engine{Jobs: w.Jobs}
+	}
+	return w.Engine
+}
+
+func (w *Worker) client() *http.Client {
+	if w.Client != nil {
+		return w.Client
+	}
+	return http.DefaultClient
+}
+
+func (w *Worker) poll() time.Duration {
+	if w.Poll > 0 {
+		return w.Poll
+	}
+	return 500 * time.Millisecond
+}
+
+// Run leases and executes specs until the coordinator reports the grid
+// done (returns nil), the context cancels, or the worker hits a fatal
+// error. A lease lost to expiry (heartbeat lapse, slow network) is not
+// fatal: the worker abandons it and asks for the next one, trusting the
+// coordinator to have re-queued the remainder.
+func (w *Worker) Run(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var resp LeaseResponse
+		status, err := w.post("/lease", LeaseRequest{Worker: w.ID}, &resp)
+		if err != nil {
+			return fmt.Errorf("campaignd: worker %s: lease: %w", w.ID, err)
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("campaignd: worker %s: lease: HTTP %d", w.ID, status)
+		}
+		switch {
+		case resp.Done:
+			w.logf("worker %s: grid complete", w.ID)
+			return nil
+		case resp.Grant == nil:
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(w.poll()):
+			}
+		default:
+			err := w.execute(ctx, *resp.Grant)
+			switch {
+			case err == nil:
+			case errors.Is(err, core.ErrAborted), errors.Is(err, errLeaseLost):
+				w.logf("worker %s: lost lease %s on %q, moving on", w.ID, resp.Grant.LeaseID, resp.Grant.Spec.Key)
+			default:
+				return err
+			}
+		}
+	}
+}
+
+// errLeaseLost reports a 410 from the coordinator mid-lease: the spec has
+// been re-queued and belongs to someone else now.
+var errLeaseLost = errors.New("campaignd: lease revoked by coordinator")
+
+// execute runs one lease: rebuild the spec's world from its wire form,
+// run indices [Start, Runs) with records streaming to the coordinator,
+// then finalize. A background heartbeat keeps the lease alive; if it ever
+// fails, the campaign's Abort hook stops dispatching new runs — compute
+// halts as soon as the work stops being ours.
+func (w *Worker) execute(ctx context.Context, grant LeaseGrant) error {
+	spec, err := grant.Spec.CampaignSpec()
+	if err != nil {
+		return fmt.Errorf("campaignd: worker %s: %w", w.ID, err)
+	}
+	w.logf("worker %s: leased %q runs [%d,%d)", w.ID, grant.Spec.Key, grant.Start, grant.Spec.Runs)
+
+	var revoked atomic.Bool
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	go w.heartbeatLoop(hbCtx, grant, &revoked)
+
+	sink := &remoteSink{w: w, leaseID: grant.LeaseID, next: grant.Start, pending: map[int]results.Record{}}
+	spec.Config.Sink = sink
+	spec.Config.RunFilter = core.LeaseFilter(grant.Start)
+	spec.Config.DiscardRecords = true
+	spec.Config.Abort = func() bool { return revoked.Load() || ctx.Err() != nil }
+
+	res := w.engine().Run([]core.CampaignSpec{spec})[0]
+	stopHB()
+	if res.Err != nil {
+		if revoked.Load() && errors.Is(res.Err, core.ErrAborted) {
+			return errLeaseLost
+		}
+		return fmt.Errorf("campaignd: worker %s: spec %q: %w", w.ID, grant.Spec.Key, res.Err)
+	}
+	if err := sink.flush(); err != nil {
+		return fmt.Errorf("campaignd: worker %s: spec %q: %w", w.ID, grant.Spec.Key, err)
+	}
+	status, err := w.post("/complete", CompleteRequest{LeaseID: grant.LeaseID}, nil)
+	if err != nil {
+		return fmt.Errorf("campaignd: worker %s: complete %q: %w", w.ID, grant.Spec.Key, err)
+	}
+	if status == http.StatusGone {
+		return errLeaseLost
+	}
+	if status != http.StatusNoContent {
+		return fmt.Errorf("campaignd: worker %s: complete %q: HTTP %d", w.ID, grant.Spec.Key, status)
+	}
+	w.logf("worker %s: finalized %q", w.ID, grant.Spec.Key)
+	return nil
+}
+
+// heartbeatLoop renews the lease until cancelled; any refusal or
+// transport failure marks the lease revoked, which the campaign's Abort
+// hook observes before each further run dispatch.
+func (w *Worker) heartbeatLoop(ctx context.Context, grant LeaseGrant, revoked *atomic.Bool) {
+	interval := w.Heartbeat
+	if interval <= 0 {
+		interval = time.Duration(grant.TTLMillis) * time.Millisecond / 3
+		if interval <= 0 {
+			interval = time.Second
+		}
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			status, err := w.post("/heartbeat", HeartbeatRequest{LeaseID: grant.LeaseID}, nil)
+			if err != nil || status != http.StatusNoContent {
+				revoked.Store(true)
+				return
+			}
+		}
+	}
+}
+
+// post sends one JSON request; out (when non-nil) decodes a 200 body.
+// Non-2xx statuses are returned, not errors — callers map them.
+func (w *Worker) post(path string, body, out any) (int, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := w.client().Post(w.Coordinator+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	msg, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(msg, out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	if resp.StatusCode >= 400 && resp.StatusCode != http.StatusGone {
+		return resp.StatusCode, fmt.Errorf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	return resp.StatusCode, nil
+}
+
+// remoteSink is the worker-side core.RecordSink: it reorders completion-
+// order records into strict index order (the same pending-map discipline
+// results.SpecSink uses) and streams contiguous batches to the
+// coordinator, so the wire only ever carries the next piece of the
+// resumable prefix. The engine serializes sink calls, so no locking.
+type remoteSink struct {
+	w       *Worker
+	leaseID string
+	next    int
+	pending map[int]results.Record
+	batch   []results.Record
+	posted  int
+	begun   bool
+	err     error
+}
+
+// BeginCampaign posts the campaign header alone as the lease's first
+// batch: validation failures (world drift, wrong spec) surface before any
+// compute-heavy record streaming starts.
+func (s *remoteSink) BeginCampaign(meta core.CampaignMeta) error {
+	if s.begun {
+		return nil
+	}
+	h := results.NewHeader(meta)
+	if err := s.send(RecordsRequest{LeaseID: s.leaseID, Header: &h}); err != nil {
+		s.err = err
+		return err
+	}
+	s.begun = true
+	return nil
+}
+
+// Record buffers one finished run and ships every contiguous batch of
+// batchSize records.
+func (s *remoteSink) Record(rec core.RunRecord) error {
+	if s.err != nil {
+		return s.err
+	}
+	r := results.NewRecord(rec)
+	s.pending[r.Index] = r
+	for {
+		next, ok := s.pending[s.next]
+		if !ok {
+			break
+		}
+		delete(s.pending, s.next)
+		s.batch = append(s.batch, next)
+		s.next++
+	}
+	if len(s.batch) >= s.batchSize() {
+		return s.flush()
+	}
+	return nil
+}
+
+func (s *remoteSink) batchSize() int {
+	if s.w.Batch > 0 {
+		return s.w.Batch
+	}
+	return 64
+}
+
+// flush posts the buffered contiguous records, then applies the simulated
+// -death test hook: the records it counts are already durable on the
+// coordinator, so the "kill" lands exactly between two batches — the same
+// place a real SIGKILL between HTTP posts would.
+func (s *remoteSink) flush() error {
+	if s.err != nil {
+		return s.err
+	}
+	if len(s.batch) == 0 {
+		return nil
+	}
+	req := RecordsRequest{LeaseID: s.leaseID, Records: s.batch}
+	if err := s.send(req); err != nil {
+		s.err = err
+		return err
+	}
+	s.posted += len(s.batch)
+	s.batch = s.batch[:0]
+	if s.w.FailAfterRecords > 0 && s.posted >= s.w.FailAfterRecords {
+		s.err = errWorkerKilled
+		return s.err
+	}
+	return nil
+}
+
+func (s *remoteSink) send(req RecordsRequest) error {
+	status, err := s.w.post("/records", req, nil)
+	if err != nil {
+		return err
+	}
+	switch status {
+	case http.StatusNoContent:
+		return nil
+	case http.StatusGone:
+		return errLeaseLost
+	default:
+		return fmt.Errorf("records rejected: HTTP %d", status)
+	}
+}
+
+var _ core.RecordSink = (*remoteSink)(nil)

@@ -107,6 +107,32 @@ type CampaignConfig struct {
 	// indices must contribute their stored outcomes (resume); a shard,
 	// which cannot know its siblings' outcomes, cannot run adaptively.
 	PriorOutcome func(idx int) (classify.Outcome, bool)
+	// Abort, when non-nil, is polled before each run dispatch; once it
+	// returns true the campaign stops launching new runs, drains the ones
+	// in flight, and fails with ErrAborted. Records already delivered to
+	// the Sink stay delivered, and because delivery-side reordering only
+	// ever persists in-order prefixes, an aborted campaign leaves behind
+	// exactly the resumable prefix a killed process would. A distributed
+	// worker sets this to its lease-revocation check so compute stops as
+	// soon as the coordinator has re-queued the spec elsewhere.
+	Abort func() bool
+}
+
+// ErrAborted reports a campaign stopped by its CampaignConfig.Abort hook:
+// not a failure of any run, but an external decision (typically a lapsed
+// work lease) that the remaining runs are no longer this process's to
+// execute. Test with errors.Is.
+var ErrAborted = errors.New("core: campaign aborted")
+
+// LeaseFilter returns the RunFilter of a work lease over a partially
+// persisted spec: only indices at or after start execute, the resume-at-
+// first-missing-index discipline of the distributed coordinator. Because
+// run streams derive purely from (Seed, index), the executed suffix is
+// bit-identical to the same indices of an uninterrupted campaign — a dead
+// worker's persisted prefix plus a successor's leased suffix reassemble
+// the exact single-machine record file.
+func LeaseFilter(start int) func(idx int) bool {
+	return func(idx int) bool { return idx >= start }
 }
 
 // NormalizedStop resolves the campaign's adaptive stopping rule against its
@@ -470,11 +496,18 @@ func runInjections(cfg CampaignConfig, w Workload, snap *WorldSnapshot, sig Sign
 		// after its chunk has drained.
 		priorTally classify.Tally
 		priorErr   error
+		// aborted latches the Abort hook's decision; set only from the
+		// dispatch loop, read only after the chunk has drained.
+		aborted bool
 	)
 	// dispatch launches runs for indices [lo, hi) and waits for the chunk to
 	// drain, so the caller observes a complete prefix.
 	dispatch := func(lo, hi int) {
 		for idx := lo; idx < hi; idx++ {
+			if cfg.Abort != nil && cfg.Abort() {
+				aborted = true
+				break
+			}
 			if cfg.RunFilter != nil && !cfg.RunFilter(idx) {
 				if rule != nil && priorErr == nil {
 					if o, ok := cfg.PriorOutcome(idx); ok {
@@ -535,7 +568,7 @@ func runInjections(cfg CampaignConfig, w Workload, snap *WorldSnapshot, sig Sign
 			b := rule.NextBarrier(next)
 			dispatch(next, b)
 			next = b
-			if failErr != nil || sinkErr != nil || priorErr != nil {
+			if failErr != nil || sinkErr != nil || priorErr != nil || aborted {
 				break
 			}
 			res.StopIndex = b
@@ -558,7 +591,7 @@ func runInjections(cfg CampaignConfig, w Workload, snap *WorldSnapshot, sig Sign
 		}
 		// Persist the decision: a sink that stores records by index needs
 		// the stop index to declare the stream complete.
-		if sr, ok := cfg.Sink.(StopRecorder); ok && failErr == nil && sinkErr == nil && priorErr == nil {
+		if sr, ok := cfg.Sink.(StopRecorder); ok && failErr == nil && sinkErr == nil && priorErr == nil && !aborted {
 			sinkErr = sr.RecordStop(res.StopIndex)
 		}
 	}
@@ -579,6 +612,8 @@ func runInjections(cfg CampaignConfig, w Workload, snap *WorldSnapshot, sig Sign
 		return res, fmt.Errorf("core: record sink: %w", sinkErr)
 	case priorErr != nil:
 		return res, priorErr
+	case aborted:
+		return res, ErrAborted
 	}
 	return res, nil
 }

@@ -44,14 +44,20 @@ type Injector struct {
 	fired     int
 	mutations []Mutation
 
-	// rngMu guards rng alone. The RNG is already sharded one state per
-	// (seed, run-index) stream — every run gets its own Injector with its
-	// own stream from runStream — so this mutex only serializes the
-	// handles of a single run. Keeping it separate from mu means a draw
-	// (flip, Intn) never contends with the fired/mutations bookkeeping:
-	// under 8+ workers the claim path and the draw path proceed
-	// independently, and the draw order within a run is unchanged.
-	rngMu sync.Mutex
+	// serialDraws marks the one case where RNG draws still need a mutex.
+	// The RNG state is sharded per (seed, run-index) stream — every run
+	// constructs its own Injector around its own runStream RNG, so 8+
+	// worker campaigns never share a draw lock across runs. Within one
+	// run, draws happen only inside model hooks, and a hook runs only
+	// after claim() succeeded. For the single-shot family (no MultiShot
+	// plan) at most one claim can ever succeed — the claim winner owns
+	// the stream exclusively and draws lock-free. Only a MultiShot plan
+	// can have two claimed hooks on concurrent handles drawing at once,
+	// so only then do draws serialize on rngMu. Either way the draw
+	// order, and hence every tally, is bit-identical to the locked era —
+	// the seed-pinned equivalence suites pin it.
+	serialDraws bool
+	rngMu       sync.Mutex
 }
 
 // NewInjector arms an injector for the given signature at the given dynamic
@@ -65,7 +71,11 @@ func NewInjector(sig Signature, target int64, rng *stats.RNG) *Injector {
 		Shots:     sig.Shots,
 	}
 	plan, _ := sig.Model.(MultiShot)
-	return &Injector{sig: sig, target: target, rng: rng, shots: sig.ShotBudget(), plan: plan}
+	return &Injector{
+		sig: sig, target: target, rng: rng,
+		shots: sig.ShotBudget(), plan: plan,
+		serialDraws: plan != nil,
+	}
 }
 
 // Disarmed returns an injector that never fires; wrapping with it yields a
@@ -140,14 +150,18 @@ func (inj *Injector) record(m Mutation) {
 	inj.mutations = append(inj.mutations, m)
 }
 
-// flip is the single entry point to the injector's RNG for bit flipping:
-// every caller (write, metadata, truncate, and read paths alike) draws the
-// bit position under rngMu, so concurrent handles of this run can never
-// race on the RNG state — without queuing behind the claim/record
-// bookkeeping guarded by mu.
+// flip draws the bit position for every flipping caller (write, metadata,
+// truncate, and read paths alike) from the injector's per-run stream.
+// Single-shot signatures draw lock-free: the claim winner is the only
+// goroutine that can ever reach a hook, so the stream is exclusively its
+// own. MultiShot plans, whose claimed hooks can overlap on concurrent
+// handles, serialize on rngMu — still never queuing behind the
+// claim/record bookkeeping guarded by mu.
 func (inj *Injector) flip(buf []byte) ([]byte, Mutation) {
-	inj.rngMu.Lock()
-	defer inj.rngMu.Unlock()
+	if inj.serialDraws {
+		inj.rngMu.Lock()
+		defer inj.rngMu.Unlock()
+	}
 	return mutateBitFlip(buf, inj.sig.Feature, inj.rng)
 }
 
@@ -155,8 +169,8 @@ func (inj *Injector) flip(buf []byte) ([]byte, Mutation) {
 func (inj *Injector) env() Env { return Env{inj: inj} }
 
 // Env is the capability a fault-model hook receives from the injector: the
-// normalized feature tunables, the shared (mutex-guarded) RNG stream, and
-// the mutation recorder. Hooks draw all their randomness through Env so
+// normalized feature tunables, the run's private RNG stream, and the
+// mutation recorder. Hooks draw all their randomness through Env so
 // concurrent handles can never race on the RNG and campaign determinism
 // is preserved no matter which model fires.
 type Env struct {
@@ -173,10 +187,13 @@ func (e Env) Feature() Feature { return e.inj.sig.Feature }
 func (e Env) Flip(buf []byte) ([]byte, Mutation) { return e.inj.flip(buf) }
 
 // Intn draws a uniform int in [0, n) from the injector's per-run RNG
-// stream under its dedicated mutex.
+// stream — lock-free for single-shot signatures (the claim winner owns
+// the stream), under the dedicated draw mutex for MultiShot plans.
 func (e Env) Intn(n int) int {
-	e.inj.rngMu.Lock()
-	defer e.inj.rngMu.Unlock()
+	if e.inj.serialDraws {
+		e.inj.rngMu.Lock()
+		defer e.inj.rngMu.Unlock()
+	}
 	return e.inj.rng.Intn(n)
 }
 

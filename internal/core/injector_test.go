@@ -574,3 +574,19 @@ func TestMutationString(t *testing.T) {
 		}
 	}
 }
+
+// Single-shot models claim their one manifestation with an atomic CAS and
+// the winner then owns the RNG stream exclusively, so their draws need no
+// mutex; only multi-shot plans — where several goroutines can keep drawing
+// after the claim — fall back to serialized draws. The shard-level
+// equivalence suites pin that the lock-free path changes no tallies.
+func TestInjectorSerializesDrawsOnlyForMultiShotPlans(t *testing.T) {
+	single := newWriteInjector(BitFlip, 0, 7)
+	if single.serialDraws {
+		t.Fatal("single-shot model should take the lock-free draw path")
+	}
+	multi := newWriteInjector(RepeatedMisdirection, 0, 7)
+	if !multi.serialDraws {
+		t.Fatal("multi-shot model must serialize RNG draws")
+	}
+}

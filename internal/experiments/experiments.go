@@ -80,15 +80,33 @@ type Options struct {
 	// CI switches campaign tables to per-outcome "rate ±halfwidth" columns
 	// (cmd flag -ci) — the units an adaptive stopping rule is stated in.
 	CI bool
+	// Engine, when set, is the campaign engine every grid in these options
+	// runs on. The engine memoizes built worlds, snapshots, and profile
+	// counts by WorldKey, so sharing one across sweeps (cmd -all, the
+	// distributed worker's successive leases) means each distinct world's
+	// Setup executes once per process instead of once per sweep. Nil builds
+	// a fresh engine per grid, exactly as before.
+	Engine *core.Engine
 }
 
-// engine builds the shared grid scheduler for these options.
-func (o Options) engine() *core.Engine {
+// NewEngine builds the shared grid scheduler for these options. Callers
+// that run several grids (or hand specs to RunGrid themselves) should
+// build one engine and set it on Options.Engine so world memoization
+// spans every sweep.
+func (o Options) NewEngine() *core.Engine {
 	jobs := o.Jobs
 	if jobs <= 0 {
 		jobs = o.Workers
 	}
 	return &core.Engine{Jobs: jobs, Progress: o.Progress}
+}
+
+// engine resolves the engine grids run on: the shared one when set.
+func (o Options) engine() *core.Engine {
+	if o.Engine != nil {
+		return o.Engine
+	}
+	return o.NewEngine()
 }
 
 // runGrid executes one engine grid through the configured runner: the

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestWireSpecNormalizedDerivesKeys(t *testing.T) {
+	ws := WireSpec{Cell: "MT2", Model: "bit-flip", Runs: 10, Seed: 3}.Normalized()
+	if ws.Key != "MT2/BF" {
+		t.Fatalf("key: got %q, want MT2/BF", ws.Key)
+	}
+	if ws.WorldKey != "MT2" {
+		t.Fatalf("world key: got %q, want MT2", ws.WorldKey)
+	}
+
+	// World-shape variants must not share the plain cell's snapshot key.
+	pipe := WireSpec{Cell: "MT2", Model: "bit-flip", Runs: 10, Seed: 3, Pipeline: true}.Normalized()
+	if pipe.WorldKey == ws.WorldKey {
+		t.Fatalf("pipeline variant shares world key %q with the standard cell", pipe.WorldKey)
+	}
+	backed := WireSpec{Cell: "MT2", Model: "bit-flip", Runs: 10, Seed: 3, Backend: "object:lag=2"}.Normalized()
+	if backed.WorldKey == ws.WorldKey {
+		t.Fatalf("backend variant shares world key %q with the mem cell", backed.WorldKey)
+	}
+	if mem := (WireSpec{Cell: "MT2", Model: "bit-flip", Runs: 10, Seed: 3, Backend: "mem"}).Normalized(); mem.WorldKey != ws.WorldKey {
+		t.Fatalf("explicit mem backend should normalize to the default world key, got %q", mem.WorldKey)
+	}
+}
+
+func TestWireSpecValidateCatchesStaticErrors(t *testing.T) {
+	for _, tc := range []struct {
+		ws   WireSpec
+		want string
+	}{
+		{WireSpec{Model: "bit-flip", Runs: 10}, "no cell"},
+		{WireSpec{Cell: "MT2", Model: "no-such-model", Runs: 10}, "unregistered"},
+		{WireSpec{Cell: "MT2", Model: "bit-flip"}, "runs"},
+		{WireSpec{Cell: "MT2", Model: "bit-flip", Runs: 10, Backend: "floppy"}, "backend"},
+		{WireSpec{Cell: "MT2", Model: "bit-flip", Runs: 10, Mounts: []string{"not-absolute"}}, "mount"},
+	} {
+		err := tc.ws.Validate()
+		if err == nil || !strings.Contains(strings.ToLower(err.Error()), tc.want) {
+			t.Errorf("Validate(%+v): got %v, want error containing %q", tc.ws, err, tc.want)
+		}
+	}
+}
+
+// The wire form and the local grid builder must agree exactly: a worker
+// rebuilding a spec from its wire form has to produce the same key, world
+// key, and campaign parameters the coordinator's grid declared.
+func TestWireSpecCampaignSpecMatchesLocalBuilder(t *testing.T) {
+	ws := WireSpec{Cell: "MT2", Model: "shorn-write", Runs: 25, Seed: 9, Shots: 2}
+	spec, err := ws.CampaignSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Options{Runs: 25, Seed: 9, Shots: 2}
+	w, err := NewWorkload("MT2", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fig7Spec("MT2", w, spec.Config.Fault.Model, o)
+	if spec.Key != want.Key || spec.WorldKey != want.WorldKey {
+		t.Fatalf("keys drifted: wire (%q, %q) vs local (%q, %q)", spec.Key, spec.WorldKey, want.Key, want.WorldKey)
+	}
+	if spec.Config.Runs != want.Config.Runs || spec.Config.Seed != want.Config.Seed ||
+		spec.Config.Fault.Shots != want.Config.Fault.Shots {
+		t.Fatalf("config drifted: wire %+v vs local %+v", spec.Config, want.Config)
+	}
+	if spec.Workload.Name != want.Workload.Name {
+		t.Fatalf("workload drifted: %q vs %q", spec.Workload.Name, want.Workload.Name)
+	}
+}
+
+func TestParseWireSpecsArrayAndJSONL(t *testing.T) {
+	array := `[
+		{"cell": "MT1", "model": "bit-flip", "runs": 10, "seed": 3},
+		{"cell": "MT2", "model": "dropped-write", "runs": 10, "seed": 3}
+	]`
+	jsonl := `{"cell": "MT1", "model": "bit-flip", "runs": 10, "seed": 3}
+{"cell": "MT2", "model": "dropped-write", "runs": 10, "seed": 3}`
+	for _, input := range []string{array, jsonl} {
+		specs, err := ParseWireSpecs(strings.NewReader(input))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(specs) != 2 || specs[0].Key != "MT1/BF" || specs[1].Key != "MT2/DW" {
+			t.Fatalf("parsed %+v", specs)
+		}
+	}
+	if _, err := ParseWireSpecs(strings.NewReader(array + "\n" + array)); err == nil {
+		t.Fatal("concatenated arrays with duplicate keys should be refused")
+	}
+	if _, err := ParseWireSpecs(strings.NewReader("")); err == nil {
+		t.Fatal("empty input should be refused")
+	}
+}
+
+func TestWireSpecJSONRoundTrip(t *testing.T) {
+	ws := WireSpec{
+		Cell: "nyx", Model: "misdirected-write", Runs: 100, Seed: 11,
+		Shots: 3, NyxN: 24, Backend: "latency:bb",
+		ArmMounts: []string{"/plt00000"}, Pipeline: true,
+	}.Normalized()
+	raw, err := json.Marshal(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back WireSpec
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, ws) {
+		t.Fatalf("round trip drifted:\n sent %+v\n got  %+v", ws, back)
+	}
+}
+
+func TestFig7WireGridCoversEveryCellAndModel(t *testing.T) {
+	specs := Fig7WireGrid(50, 4)
+	want := len(Fig7Cells) * len(Fig7Models())
+	if len(specs) != want {
+		t.Fatalf("grid has %d specs, want %d", len(specs), want)
+	}
+	seen := map[string]bool{}
+	for _, ws := range specs {
+		if err := ws.Validate(); err != nil {
+			t.Errorf("generated spec %q invalid: %v", ws.Key, err)
+		}
+		if ws.Runs != 50 || ws.Seed != 4 {
+			t.Errorf("spec %q: runs=%d seed=%d", ws.Key, ws.Runs, ws.Seed)
+		}
+		seen[ws.Key] = true
+	}
+	if len(seen) != want {
+		t.Fatalf("duplicate keys in generated grid")
+	}
+}

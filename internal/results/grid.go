@@ -35,7 +35,7 @@ func RunGrid(e *core.Engine, st *Store, shard Shard, specs []core.CampaignSpec) 
 		}
 		keys[i] = spec.Key
 	}
-	if err := st.ensureSpecs(keys); err != nil {
+	if err := st.EnsureSpecs(keys); err != nil {
 		return nil, err
 	}
 
@@ -74,7 +74,7 @@ func RunGrid(e *core.Engine, st *Store, shard Shard, specs []core.CampaignSpec) 
 			// the profile count is the one thing a static check cannot
 			// see; everything nameable — workload, model, primitive,
 			// feature, runs, seed — is compared.)
-			if err := headerMatchesSpec(data.Header, spec); err != nil {
+			if err := HeaderMatchesSpec(data.Header, spec); err != nil {
 				return fail(err)
 			}
 			res, err := data.CampaignResult()
@@ -135,17 +135,19 @@ func RunGrid(e *core.Engine, st *Store, shard Shard, specs []core.CampaignSpec) 
 	return out, firstErr
 }
 
-// headerMatchesSpec verifies a stored header describes the spec a caller is
+// HeaderMatchesSpec verifies a stored header describes the spec a caller is
 // asking for: everything statically knowable about the campaign must match.
 // The profile count is copied from the stored header — it is a property of
 // the built world, observable only by re-profiling, which the fast path
-// exists to skip.
-func headerMatchesSpec(h Header, spec core.CampaignSpec) error {
+// exists to skip. Exported for the distributed coordinator, which applies
+// the same guard to headers arriving over the wire before ingesting a
+// worker's records.
+func HeaderMatchesSpec(h Header, spec core.CampaignSpec) error {
 	stop, err := spec.Config.NormalizedStop()
 	if err != nil {
 		return fmt.Errorf("results: spec %q: %w", spec.Key, err)
 	}
-	want := newHeader(core.CampaignMeta{
+	want := NewHeader(core.CampaignMeta{
 		Workload:     spec.Workload.Name,
 		Signature:    spec.Config.Fault.Signature(),
 		ProfileCount: h.ProfileCount,

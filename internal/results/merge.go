@@ -9,7 +9,8 @@ import (
 
 // Merge reassembles shard stores into one whole-grid store at dst, which
 // must not already exist. Every source must have been produced from the
-// same campaign (equal seed and runs — validated against the manifests) and
+// same campaign (equal seed, runs, and backend — validated against the
+// manifests) and
 // have finalized the specs it contributes; the merged record file
 // interleaves each shard's lines by run index, byte for byte, so merging
 // the shards of a deterministic grid reproduces exactly the file an
@@ -37,6 +38,14 @@ func Merge(dst string, srcs ...string) error {
 			return fmt.Errorf("results: merge: %s holds seed=%d runs=%d, %s holds seed=%d runs=%d",
 				srcs[0], ref.Seed, ref.Runs, st.Dir(), man.Seed, man.Runs)
 		}
+		// Same-seed same-runs shards over different backends are different
+		// experiments wearing the same record format: the worlds the faults
+		// landed in differ, so interleaving their lines would fabricate a
+		// grid no single machine ever ran.
+		if man.Backend != ref.Backend {
+			return fmt.Errorf("results: merge: %s holds backend=%q, %s holds backend=%q; shards of one campaign must share a backend",
+				srcs[0], ref.Backend, st.Dir(), man.Backend)
+		}
 		for _, key := range man.Specs {
 			if !seen[key] {
 				seen[key] = true
@@ -45,7 +54,7 @@ func Merge(dst string, srcs ...string) error {
 		}
 	}
 
-	out, err := Create(dst, Manifest{Seed: ref.Seed, Runs: ref.Runs, Specs: specs})
+	out, err := Create(dst, Manifest{Seed: ref.Seed, Runs: ref.Runs, Backend: ref.Backend, Specs: specs})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,72 @@
+package results
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ffis/internal/core"
+)
+
+// shardWithBackend runs the eq grid for one shard into dir with the given
+// backend string stamped in the manifest.
+func shardWithBackend(t *testing.T, dir, backend string, shard Shard) {
+	t.Helper()
+	st, err := Create(dir, Manifest{Seed: eqSeed, Runs: eqRuns, Shard: shard.String(), Backend: backend})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := RunGrid(&core.Engine{Jobs: 2}, st, shard, eqSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range grid {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Spec.Key, r.Err)
+		}
+	}
+}
+
+// The backend string is part of a campaign's identity: records produced
+// against different storage backends are different experiments even at the
+// same seed, so shards disagreeing on it must never merge, and a resume
+// must never continue a store produced against a different backend.
+func TestMergeRejectsMixedBackends(t *testing.T) {
+	s0, s1 := t.TempDir(), t.TempDir()
+	shardWithBackend(t, s0, "object", Shard{Index: 0, Count: 2})
+	shardWithBackend(t, s1, "latency:bb", Shard{Index: 1, Count: 2})
+
+	err := Merge(filepath.Join(t.TempDir(), "m"), s0, s1)
+	if err == nil || !strings.Contains(err.Error(), "backend") {
+		t.Fatalf("shards with different backends must refuse to merge, got %v", err)
+	}
+}
+
+func TestMergeCarriesBackendIntoMergedManifest(t *testing.T) {
+	s0, s1 := t.TempDir(), t.TempDir()
+	shardWithBackend(t, s0, "object", Shard{Index: 0, Count: 2})
+	shardWithBackend(t, s1, "object", Shard{Index: 1, Count: 2})
+
+	dst := filepath.Join(t.TempDir(), "m")
+	if err := Merge(dst, s0, s1); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Manifest().Backend; got != "object" {
+		t.Fatalf("merged manifest backend = %q, want %q", got, "object")
+	}
+}
+
+func TestResumeRejectsBackendMismatch(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Create(dir, Manifest{Seed: eqSeed, Runs: eqRuns, Backend: "object"}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := CreateOrResume(dir, true, Manifest{Seed: eqSeed, Runs: eqRuns, Backend: "latency:bb"})
+	if err == nil || !strings.Contains(err.Error(), "backend") {
+		t.Fatalf("resume across backends must be refused, got %v", err)
+	}
+}

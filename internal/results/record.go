@@ -79,8 +79,11 @@ type FeatureRecord struct {
 	MisdirectEvery int `json:"misdirect_every,omitempty"`
 }
 
-// newHeader renders campaign metadata into the persisted header form.
-func newHeader(meta core.CampaignMeta) Header {
+// NewHeader renders campaign metadata into the persisted header form. It
+// is exported for the distributed path: a campaign worker serializes its
+// header here and streams it to the coordinator, whose ingest validates it
+// against the spec before persisting (HeaderMatchesSpec, SpecSink.BeginHeader).
+func NewHeader(meta core.CampaignMeta) Header {
 	sig := meta.Signature
 	return Header{
 		Schema:    schemaVersion,
@@ -170,10 +173,13 @@ type MutationRecord struct {
 	Rendered   string `json:"rendered,omitempty"`
 }
 
-// newRecord renders a finished run into its persisted form. The run error
+// NewRecord renders a finished run into its persisted form. The run error
 // and the mutation's model are flattened to strings: error chains and model
-// instances do not survive serialization, only their identities do.
-func newRecord(rec core.RunRecord) Record {
+// instances do not survive serialization, only their identities do. The
+// rendering is a pure function of the run record, and Record round-trips
+// losslessly through JSON, so a worker-serialized record re-marshalled by
+// a remote coordinator lands byte-identical to a locally written one.
+func NewRecord(rec core.RunRecord) Record {
 	out := Record{
 		Index:    rec.Index,
 		Target:   rec.Target,

@@ -150,7 +150,18 @@ func (s *SpecSink) RecordStop(stopIndex int) error {
 // seed, model, run count) means the deterministic (seed, index) → record
 // mapping no longer holds and the resume must abort before mixing records.
 func (s *SpecSink) BeginCampaign(meta core.CampaignMeta) error {
-	h := newHeader(meta)
+	return s.BeginHeader(NewHeader(meta))
+}
+
+// BeginHeader is the already-serialized form of BeginCampaign: the remote
+// ingest path, where the campaign ran on another machine and only its
+// Header crossed the wire. The same drift check applies — a worker whose
+// world profiled differently (or that was handed a stale spec) is refused
+// before any of its records can mix with the stored prefix.
+func (s *SpecSink) BeginHeader(h Header) error {
+	if h.Schema != schemaVersion {
+		return fmt.Errorf("results: spec %q: header schema %d, this store speaks %d", s.key, h.Schema, schemaVersion)
+	}
 	if s.header != nil {
 		if !reflect.DeepEqual(*s.header, h) {
 			return fmt.Errorf("results: spec %q: stored header %+v does not match resumed campaign %+v", s.key, *s.header, h)
@@ -168,16 +179,45 @@ func (s *SpecSink) BeginCampaign(meta core.CampaignMeta) error {
 	return nil
 }
 
+// Header returns the header the stream was begun (or recovered) with, nil
+// before BeginCampaign/BeginHeader on a fresh stream.
+func (s *SpecSink) Header() *Header {
+	if s.header == nil {
+		return nil
+	}
+	h := *s.header
+	return &h
+}
+
 // Record implements core.RecordSink: it buffers the record and flushes the
 // longest contiguous in-order run of owned indices to disk. Each line is
 // written with its trailing newline in one call, so a kill between records
 // never tears the file mid-line (a kill during a write can, which recovery
 // handles).
 func (s *SpecSink) Record(rec core.RunRecord) error {
+	return s.Append(NewRecord(rec))
+}
+
+// Append is the already-serialized form of Record, the entry point for
+// ingesting records produced on another machine. It re-marshals the record
+// through the same canonical encoder local runs use, so stored bytes never
+// depend on how a client happened to format its JSON. Indices outside the
+// campaign, outside this sink's shard, or already persisted are refused —
+// the coordinator's defense against a confused or duplicate worker.
+func (s *SpecSink) Append(rec Record) error {
 	if s.err != nil {
 		return s.err
 	}
-	line, err := marshalLine(newRecord(rec))
+	if rec.Index < 0 || rec.Index >= s.runs {
+		return fmt.Errorf("results: spec %q: record index %d outside campaign of %d runs", s.key, rec.Index, s.runs)
+	}
+	if !s.shard.Owns(rec.Index) {
+		return fmt.Errorf("results: spec %q: record index %d not owned by shard %s", s.key, rec.Index, s.shard)
+	}
+	if _, dup := s.pending[rec.Index]; dup || s.persisted[rec.Index] || rec.Index < s.next {
+		return fmt.Errorf("results: spec %q: record index %d already delivered", s.key, rec.Index)
+	}
+	line, err := marshalLine(rec)
 	if err != nil {
 		s.err = err
 		return err

@@ -48,11 +48,17 @@ const (
 // ("" = the whole grid); Specs lists the spec keys in submission order,
 // which is also report order.
 type Manifest struct {
-	Schema int      `json:"ffis_store"`
-	Seed   uint64   `json:"seed"`
-	Runs   int      `json:"runs"`
-	Shard  string   `json:"shard,omitempty"`
-	Specs  []string `json:"specs,omitempty"`
+	Schema int    `json:"ffis_store"`
+	Seed   uint64 `json:"seed"`
+	Runs   int    `json:"runs"`
+	Shard  string `json:"shard,omitempty"`
+	// Backend is the storage-backend grammar string the grid's worlds were
+	// built over ("" = the default mem backend). Part of campaign identity:
+	// two shards run over different backends can hold identical-looking
+	// record streams (same seed, same runs) whose outcomes came from
+	// different worlds, so resume and merge refuse to mix them.
+	Backend string   `json:"backend,omitempty"`
+	Specs   []string `json:"specs,omitempty"`
 }
 
 // Store is an open results directory. All methods are safe for concurrent
@@ -123,10 +129,10 @@ func CreateOrResume(dir string, resume bool, man Manifest) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	if st.man.Seed != man.Seed || st.man.Runs != man.Runs || st.man.Shard != man.Shard {
+	if st.man.Seed != man.Seed || st.man.Runs != man.Runs || st.man.Shard != man.Shard || st.man.Backend != man.Backend {
 		return nil, fmt.Errorf(
-			"results: resume mismatch: store %s holds seed=%d runs=%d shard=%q, this invocation wants seed=%d runs=%d shard=%q",
-			dir, st.man.Seed, st.man.Runs, st.man.Shard, man.Seed, man.Runs, man.Shard)
+			"results: resume mismatch: store %s holds seed=%d runs=%d shard=%q backend=%q, this invocation wants seed=%d runs=%d shard=%q backend=%q",
+			dir, st.man.Seed, st.man.Runs, st.man.Shard, st.man.Backend, man.Seed, man.Runs, man.Shard, man.Backend)
 	}
 	return st, nil
 }
@@ -150,10 +156,11 @@ func (st *Store) writeManifest() error {
 	return nil
 }
 
-// ensureSpecs registers spec keys in the manifest (preserving first-seen
+// EnsureSpecs registers spec keys in the manifest (preserving first-seen
 // order), rewriting it if anything new appeared. Grids that run several
-// sweeps into one store (-all) accumulate their spec lists here.
-func (st *Store) ensureSpecs(keys []string) error {
+// sweeps into one store (-all) accumulate their spec lists here, as does
+// the distributed coordinator when it adopts a spec grid into its store.
+func (st *Store) EnsureSpecs(keys []string) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	have := make(map[string]bool, len(st.man.Specs))
@@ -173,6 +180,13 @@ func (st *Store) ensureSpecs(keys []string) error {
 	}
 	return st.writeManifest()
 }
+
+// Lock takes the store's exclusive inter-process lock — the same lock
+// RunGrid holds for its duration — returning the release function.
+// Exported for long-lived writers (the campaign coordinator daemon) that
+// stream records into the store outside any RunGrid invocation and need
+// the same one-writer-per-store guarantee.
+func (st *Store) Lock() (func(), error) { return st.lock() }
 
 // encodeKey renders a spec key ("nyx/BF", "MT2.tiered/SW") as a collision-
 // free file name: letters, digits, dot, underscore, and dash pass through;

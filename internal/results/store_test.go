@@ -257,7 +257,7 @@ func TestReportCallsOutMissingSpecs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := st.ensureSpecs([]string{"eq/ghost"}); err != nil {
+	if err := st.EnsureSpecs([]string{"eq/ghost"}); err != nil {
 		t.Fatal(err)
 	}
 	text, err := Report(st, "text")
