@@ -13,7 +13,12 @@
 //     placement grid under every backend the mount table can host;
 //   - wall-clock time of a small MT1 grid through the campaignd
 //     coordinator with three loopback workers vs the same grid run
-//     locally — the protocol overhead of the distributed campaign path.
+//     locally — the protocol overhead of the distributed campaign path;
+//   - the run-event harness overhead: one 10,000-run MT2 campaign with
+//     the event stream off vs on with both standard subscribers (line
+//     renderer + JSONL trace writer) aimed at io.Discard, as a percent.
+//     -check enforces an absolute ceiling (-max-overhead) on it, so event
+//     emission can never quietly become a tax on the run pool.
 //
 // CI's bench-smoke job runs it on every push and uploads the refreshed
 // file as a build artifact; committed points form the long-term trajectory
@@ -33,6 +38,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"net/http/httptest"
 	"os"
 	"runtime"
@@ -43,6 +50,7 @@ import (
 	"ffis/internal/campaignd"
 	"ffis/internal/core"
 	"ffis/internal/experiments"
+	"ffis/internal/progress"
 	"ffis/internal/results"
 	"ffis/internal/stats"
 	"ffis/internal/vfs"
@@ -87,6 +95,13 @@ type point struct {
 	Distributed3WorkerMS int64 `json:"distributed_3worker_vs_local_ms,omitempty"`
 	DistributedLocalMS   int64 `json:"distributed_local_ms,omitempty"`
 
+	// Percent wall-clock added to a 10,000-run MT2 campaign by the event
+	// bus with both standard subscribers attached (vs no bus at all). Can
+	// be slightly negative on a noisy machine — the true cost per run is
+	// sub-microsecond — which is exactly why -check gates it with an
+	// absolute ceiling rather than against the previous point.
+	MT2HarnessOverheadPct float64 `json:"mt2_10k_harness_overhead_pct"`
+
 	Adaptive adaptivePoint `json:"adaptive"`
 }
 
@@ -103,16 +118,17 @@ type adaptivePoint struct {
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_grid.json", "trajectory file to append to")
-		runs    = flag.Int("runs", 24, "runs per grid cell for the timing measurements")
-		seed    = flag.Uint64("seed", 2021, "campaign seed")
-		nyxN    = flag.Int("nyx-n", 24, "Nyx grid edge for the timing measurements")
-		target  = flag.Float64("adaptive", 0.02, "target Wilson half-width for the runs-saved measurement")
-		budget  = flag.Int("budget", 1000, "fixed run budget the adaptive campaign is measured against")
-		note    = flag.String("note", "", "free-form annotation stored with the point")
-		dry     = flag.Bool("dry-run", false, "print the measured point without touching -out")
-		check   = flag.Bool("check", false, "fail (exit 1) when the fresh point regresses more than -max-regress against the last entry in -out")
-		regress = flag.Float64("max-regress", 0.30, "fractional regression of fig7_grid_engine_ms, mt4_campaign_cow_ms, tiered_backend_sweep_ms, or distributed_3worker_vs_local_ms tolerated by -check")
+		out      = flag.String("out", "BENCH_grid.json", "trajectory file to append to")
+		runs     = flag.Int("runs", 24, "runs per grid cell for the timing measurements")
+		seed     = flag.Uint64("seed", 2021, "campaign seed")
+		nyxN     = flag.Int("nyx-n", 24, "Nyx grid edge for the timing measurements")
+		target   = flag.Float64("adaptive", 0.02, "target Wilson half-width for the runs-saved measurement")
+		budget   = flag.Int("budget", 1000, "fixed run budget the adaptive campaign is measured against")
+		note     = flag.String("note", "", "free-form annotation stored with the point")
+		dry      = flag.Bool("dry-run", false, "print the measured point without touching -out")
+		check    = flag.Bool("check", false, "fail (exit 1) when the fresh point regresses more than -max-regress against the last entry in -out, or mt2_10k_harness_overhead_pct exceeds -max-overhead")
+		regress  = flag.Float64("max-regress", 0.30, "fractional regression of fig7_grid_engine_ms, mt4_campaign_cow_ms, tiered_backend_sweep_ms, or distributed_3worker_vs_local_ms tolerated by -check")
+		overhead = flag.Float64("max-overhead", 10, "absolute ceiling (percent) -check enforces on mt2_10k_harness_overhead_pct")
 	)
 	flag.Parse()
 
@@ -139,7 +155,7 @@ func main() {
 		if err != nil && !os.IsNotExist(err) {
 			die(err)
 		}
-		if err := checkRegression(prior, p, *regress); err != nil {
+		if err := checkRegression(prior, p, *regress, *overhead); err != nil {
 			die(err)
 		}
 		fmt.Printf("within %d%% of the last committed point\n", int(*regress*100))
@@ -159,8 +175,14 @@ func main() {
 // time more than frac above
 // the committed one fails, so the trajectory is enforced in CI, not just
 // recorded. Prior points missing a metric (older schema, zero value) are
-// not compared on it.
-func checkRegression(prior []json.RawMessage, p point, frac float64) error {
+// not compared on it. The harness-overhead percent is gated against the
+// absolute maxOverhead ceiling instead — the metric hovers around zero,
+// so a fraction-of-last-point comparison would be pure noise.
+func checkRegression(prior []json.RawMessage, p point, frac, maxOverhead float64) error {
+	if p.MT2HarnessOverheadPct > maxOverhead {
+		return fmt.Errorf("event harness overhead %.1f%% exceeds the %.0f%% ceiling: emission is taxing the run pool",
+			p.MT2HarnessOverheadPct, maxOverhead)
+	}
 	if len(prior) == 0 {
 		return nil
 	}
@@ -285,6 +307,10 @@ func measure(runs int, seed uint64, nyxN int, target float64, budget int) (point
 		p.Distributed3WorkerMS = dist
 	}
 
+	if p.MT2HarnessOverheadPct, err = harnessOverheadPct(seed); err != nil {
+		return p, fmt.Errorf("harness overhead: %w", err)
+	}
+
 	// The runs-saved counter, on the acceptance-criterion cell: MT2 under
 	// unreadable-sector converges at the first barrier, so the saving is
 	// large and stable; balanced write-model cells would report zero saved
@@ -307,6 +333,50 @@ func measure(runs int, seed uint64, nyxN int, target float64, budget int) (point
 		RunsSaved:       budget - spent,
 	}
 	return p, nil
+}
+
+// harnessOverheadPct times one 10,000-run MT2 campaign twice on the same
+// single-slot engine: event stream fully off (Events nil — emission is
+// skipped, not just unobserved), then on with both standard subscribers
+// aimed at io.Discard. The percent difference is the whole harness tax a
+// -progress -trace invocation pays: event construction, the non-blocking
+// publish, queue handoff, rendering, and JSON encoding. The run count is
+// fixed at paper scale rather than tied to -runs so the committed metric
+// is comparable across points.
+func harnessOverheadPct(seed uint64) (float64, error) {
+	const overheadRuns = 10_000
+	w, err := experiments.NewWorkload("MT2", experiments.Options{})
+	if err != nil {
+		return 0, err
+	}
+	run := func(bus *core.EventBus) (int64, error) {
+		t0 := time.Now()
+		grid := (&core.Engine{Jobs: 1, Events: bus}).Run([]core.CampaignSpec{{
+			Key:      "MT2/overhead",
+			Workload: w,
+			Config:   core.CampaignConfig{Fault: core.Config{Model: core.BitFlip}, Runs: overheadRuns, Seed: seed},
+		}})
+		if grid[0].Err != nil {
+			return 0, grid[0].Err
+		}
+		if bus != nil {
+			bus.Close() // flush before stopping the clock: the tax includes delivery
+		}
+		return time.Since(t0).Milliseconds(), nil
+	}
+	plainMS, err := run(nil)
+	if err != nil {
+		return 0, err
+	}
+	bus := core.NewEventBus()
+	bus.Subscribe(0, progress.Renderer(io.Discard))
+	bus.Subscribe(4096, progress.WriteTrace(io.Discard))
+	withMS, err := run(bus)
+	if err != nil {
+		return 0, err
+	}
+	pct := float64(withMS-plainMS) / float64(plainMS) * 100
+	return math.Round(pct*10) / 10, nil
 }
 
 // measureDistributed times one small MT1 grid (three fault models) run

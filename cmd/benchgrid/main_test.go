@@ -111,10 +111,16 @@ func TestCheckRegression(t *testing.T) {
 		{"cow regressed", []json.RawMessage{mk(2000, 70)}, point{Fig7EngineMS: 2000, MT4CowMS: 100}, true},
 		{"only newest entry gates", []json.RawMessage{mk(100, 5), mk(2000, 70)}, point{Fig7EngineMS: 2500, MT4CowMS: 80}, false},
 		{"zero metric in history skipped", []json.RawMessage{mk(0, 0)}, point{Fig7EngineMS: 9999, MT4CowMS: 9999}, false},
+		// The harness-overhead gate is an absolute ceiling, enforced even
+		// with no history at all, and tolerant of the negative noise an
+		// unloaded machine can report.
+		{"overhead within ceiling", nil, point{MT2HarnessOverheadPct: 9.9}, false},
+		{"overhead negative noise ok", []json.RawMessage{mk(2000, 70)}, point{Fig7EngineMS: 2000, MT4CowMS: 70, MT2HarnessOverheadPct: -1.2}, false},
+		{"overhead beyond ceiling", nil, point{MT2HarnessOverheadPct: 10.1}, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			err := checkRegression(tc.prior, tc.fresh, 0.30)
+			err := checkRegression(tc.prior, tc.fresh, 0.30, 10)
 			if (err != nil) != tc.wantErr {
 				t.Fatalf("checkRegression = %v, wantErr %v", err, tc.wantErr)
 			}
@@ -126,7 +132,7 @@ func TestCheckRegression(t *testing.T) {
 // parse must fail the gate loudly rather than passing by default.
 func TestCheckRegressionRejectsCorruptHistory(t *testing.T) {
 	prior := []json.RawMessage{json.RawMessage(`"not a point"`)}
-	if err := checkRegression(prior, point{}, 0.30); err == nil {
+	if err := checkRegression(prior, point{}, 0.30, 10); err == nil {
 		t.Fatal("corrupt history accepted")
 	}
 }

@@ -17,8 +17,10 @@
 //
 //	{"cell": "MT2", "model": "bit-flip", "runs": 1000, "seed": 2021}
 //
-// Watch progress with GET /progress, render live tables with
-// GET /report?format=markdown.
+// Watch progress with GET /progress, live operational metrics (ingest
+// throughput, lease churn, per-run stage latency averages) with
+// GET /metrics, and render live tables with GET /report?format=markdown.
+// With -token set, every route requires the matching bearer token.
 package main
 
 import (
@@ -41,6 +43,7 @@ func main() {
 		resume   = flag.Bool("resume", false, "resume the existing store at -out instead of creating a fresh one")
 		addr     = flag.String("addr", ":8080", "HTTP listen address")
 		leaseTTL = flag.Duration("lease-ttl", campaignd.DefaultLeaseTTL, "lease expiry without a heartbeat; lapsed leases re-queue from the first missing run index")
+		token    = flag.String("token", "", "shared bearer secret; with it set, every route requires \"Authorization: Bearer <token>\"")
 		runs     = flag.Int("runs", 1000, "runs per cell for the default grid (ignored with -specs)")
 		seed     = flag.Uint64("seed", 2021, "campaign seed for the default grid (ignored with -specs)")
 		gen      = flag.Bool("gen", false, "print the default Figure 7 spec grid as JSON and exit")
@@ -91,6 +94,7 @@ func main() {
 		die(err)
 	}
 	defer coord.Close()
+	coord.AuthToken = *token
 
 	fmt.Printf("campaignd: serving %d specs (seed %d, %d runs per cell) on %s, lease TTL %s\n",
 		len(specs), man.Seed, man.Runs, *addr, *leaseTTL)

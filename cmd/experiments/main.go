@@ -33,12 +33,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"ffis/internal/core"
 	"ffis/internal/experiments"
+	progressui "ffis/internal/progress"
 	"ffis/internal/results"
 	"ffis/internal/stats"
 )
@@ -75,6 +77,7 @@ func main() {
 		outdir   = flag.String("outdir", "", "directory for image artifacts (Figures 5 and 9)")
 		adaptive = flag.Float64("adaptive", 0, "adaptive stopping: each cell halts when every outcome rate's Wilson 95% half-width is under this target (-runs becomes the budget cap; 0 = fixed budget)")
 		showCI   = flag.Bool("ci", false, "render campaign tables as rate ±halfwidth (Wilson 95%) columns")
+		traceOut = flag.String("trace", "", "stream per-run lifecycle events (spec_start, run_done with stage timings, barriers, spec_done) as JSONL to this file")
 		storeDir = flag.String("out", "", "stream grid run records to a JSONL results store at this directory")
 		resume   = flag.Bool("resume", false, "resume the interrupted store at -out, skipping persisted work")
 		shardStr = flag.String("shard", "", "execute only shard i/n of every cell's run indices (requires -out)")
@@ -111,9 +114,16 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	var progressTo io.Writer
 	if *progress {
-		o.Progress = experiments.ProgressPrinter(os.Stderr)
+		progressTo = os.Stderr
 	}
+	bus, finishEvents, err := progressui.Wire(progressTo, *traceOut, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	o.Events = bus
 	// Share one engine across every sweep this invocation runs (-all runs
 	// several), so each distinct world's Setup and profile pass execute
 	// once per process instead of once per sweep.
@@ -129,6 +139,11 @@ func main() {
 	}
 
 	die := func(err error) {
+		// Flush the trace subscribers so a failed grid still leaves a
+		// complete event file behind.
+		if ferr := finishEvents(); ferr != nil {
+			fmt.Fprintf(os.Stderr, "experiments: trace: %v\n", ferr)
+		}
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
 	}
@@ -298,6 +313,9 @@ func main() {
 		}
 		fmt.Println(out)
 		ranSomething = true
+	}
+	if err := finishEvents(); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: trace: %v\n", err)
 	}
 	if !ranSomething {
 		flag.Usage()

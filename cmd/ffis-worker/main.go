@@ -10,6 +10,7 @@
 //
 //	ffis-worker -coordinator http://head-node:8080
 //	ffis-worker -coordinator http://head-node:8080 -id node7 -jobs 16
+//	ffis-worker -coordinator http://head-node:8080 -token S3CR3T -trace runs.jsonl
 //
 // Determinism makes workers interchangeable: every record is a pure
 // function of (spec, seed, run index), so it does not matter which worker
@@ -21,10 +22,12 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"ffis/internal/campaignd"
+	progressui "ffis/internal/progress"
 )
 
 func main() {
@@ -35,6 +38,10 @@ func main() {
 		pollEvery   = flag.Duration("poll", 500*time.Millisecond, "wait between lease polls when no work is available")
 		heartbeat   = flag.Duration("heartbeat", 0, "lease renewal interval (0 = a third of the granted TTL)")
 		batch       = flag.Int("batch", 64, "records per upload batch")
+		token       = flag.String("token", "", "shared bearer secret; must match the coordinator's -token")
+		prefetch    = flag.Bool("prefetch", true, "fetch the next lease while the current spec still executes")
+		progress    = flag.Bool("progress", false, "stream per-spec run progress to stderr alongside lease logs")
+		traceOut    = flag.String("trace", "", "stream per-run lifecycle events (spec_start, run_done with stage timings, barriers, spec_done) as JSONL to this file")
 		quiet       = flag.Bool("quiet", false, "suppress per-lease progress lines")
 	)
 	flag.Parse()
@@ -46,6 +53,15 @@ func main() {
 		}
 		*id = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
+	var progressTo io.Writer
+	if *progress {
+		progressTo = os.Stderr
+	}
+	bus, finishEvents, err := progressui.Wire(progressTo, *traceOut, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ffis-worker: %v\n", err)
+		os.Exit(1)
+	}
 	w := &campaignd.Worker{
 		ID:          *id,
 		Coordinator: *coordinator,
@@ -53,14 +69,21 @@ func main() {
 		Poll:        *pollEvery,
 		Heartbeat:   *heartbeat,
 		Batch:       *batch,
+		Token:       *token,
+		Prefetch:    *prefetch,
+		Events:      bus,
 	}
 	if !*quiet {
 		w.Log = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
-	if err := w.Run(context.Background()); err != nil {
-		fmt.Fprintf(os.Stderr, "ffis-worker: %v\n", err)
+	runErr := w.Run(context.Background())
+	if err := finishEvents(); err != nil {
+		fmt.Fprintf(os.Stderr, "ffis-worker: trace: %v\n", err)
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "ffis-worker: %v\n", runErr)
 		os.Exit(1)
 	}
 }

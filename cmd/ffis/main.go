@@ -44,12 +44,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"ffis/internal/classify"
 	"ffis/internal/core"
 	"ffis/internal/experiments"
+	progressui "ffis/internal/progress"
 	"ffis/internal/results"
 	"ffis/internal/stats"
 	"ffis/internal/trace"
@@ -68,23 +70,24 @@ func (l *stringList) Set(v string) error {
 
 func main() {
 	var (
-		app       = flag.String("app", "nyx", "campaign cell: nyx, qmcpack, MT1, MT2, MT3, MT4")
-		model     = flag.String("model", "bf", "fault model name, short code, or alias (see -list-models); 'list' prints the registry")
-		listOnly  = flag.Bool("list-models", false, "print the fault-model registry table and exit")
-		runs      = flag.Int("runs", 1000, "fault-injection runs (the paper uses 1000)")
-		seed      = flag.Uint64("seed", 2021, "campaign seed")
-		workers   = flag.Int("workers", 0, "parallel runs (0 = GOMAXPROCS)")
-		jobs      = flag.Int("jobs", 0, "campaign engine pool width (0 = -workers, then GOMAXPROCS)")
-		progress  = flag.Bool("progress", false, "stream campaign progress to stderr")
-		nyxN      = flag.Int("nyx-n", 0, "override the Nyx grid edge (0 = default 48)")
-		useAvg    = flag.Bool("avg-detector", false, "apply the Nyx average-value detection method")
-		asCSV     = flag.Bool("csv", false, "emit CSV instead of a table")
-		asJSON    = flag.Bool("json", false, "emit the machine-readable JSON result")
-		showTrace = flag.Bool("trace", false, "print the workload's fault-free I/O pattern profile first")
-		adaptive  = flag.Float64("adaptive", 0, "adaptive stopping: halt when every outcome rate's Wilson 95% half-width is under this target (-runs becomes the budget cap; 0 = fixed budget)")
-		showCI    = flag.Bool("ci", false, "render outcome columns as rate ±halfwidth (Wilson 95%)")
-		shots     = flag.Int("shots", 0, "override the fault model's shot budget (0 = model default; >1 only affects multi-shot models)")
-		backend   = flag.String("backend", "mem", "storage backend of the flat world: mem, object[:lag=N], latency[:bb|:pfs] (with -mount, set backends per mount instead)")
+		app      = flag.String("app", "nyx", "campaign cell: nyx, qmcpack, MT1, MT2, MT3, MT4")
+		model    = flag.String("model", "bf", "fault model name, short code, or alias (see -list-models); 'list' prints the registry")
+		listOnly = flag.Bool("list-models", false, "print the fault-model registry table and exit")
+		runs     = flag.Int("runs", 1000, "fault-injection runs (the paper uses 1000)")
+		seed     = flag.Uint64("seed", 2021, "campaign seed")
+		workers  = flag.Int("workers", 0, "parallel runs (0 = GOMAXPROCS)")
+		jobs     = flag.Int("jobs", 0, "campaign engine pool width (0 = -workers, then GOMAXPROCS)")
+		progress = flag.Bool("progress", false, "stream campaign progress to stderr")
+		nyxN     = flag.Int("nyx-n", 0, "override the Nyx grid edge (0 = default 48)")
+		useAvg   = flag.Bool("avg-detector", false, "apply the Nyx average-value detection method")
+		asCSV    = flag.Bool("csv", false, "emit CSV instead of a table")
+		asJSON   = flag.Bool("json", false, "emit the machine-readable JSON result")
+		ioTrace  = flag.Bool("iotrace", false, "print the workload's fault-free I/O pattern profile first")
+		traceOut = flag.String("trace", "", "stream per-run lifecycle events (spec_start, run_done with stage timings, barriers, spec_done) as JSONL to this file")
+		adaptive = flag.Float64("adaptive", 0, "adaptive stopping: halt when every outcome rate's Wilson 95% half-width is under this target (-runs becomes the budget cap; 0 = fixed budget)")
+		showCI   = flag.Bool("ci", false, "render outcome columns as rate ±halfwidth (Wilson 95%)")
+		shots    = flag.Int("shots", 0, "override the fault model's shot budget (0 = model default; >1 only affects multi-shot models)")
+		backend  = flag.String("backend", "mem", "storage backend of the flat world: mem, object[:lag=N], latency[:bb|:pfs] (with -mount, set backends per mount instead)")
 	)
 	var (
 		outDir    = flag.String("out", "", "stream run records to a JSONL results store at this directory")
@@ -188,9 +191,15 @@ func main() {
 		}
 		opts.Stop = &stats.StopRule{TargetHalfWidth: *adaptive}
 	}
+	var progressTo io.Writer
 	if *progress {
-		opts.Progress = experiments.ProgressPrinter(os.Stderr)
+		progressTo = os.Stderr
 	}
+	bus, finishEvents, err := progressui.Wire(progressTo, *traceOut, os.Stderr)
+	if err != nil {
+		fail(err)
+	}
+	opts.Events = bus
 	// One engine for everything this invocation runs, so world snapshots
 	// and profile passes memoize across grids instead of per call.
 	opts.Engine = opts.NewEngine()
@@ -213,7 +222,7 @@ func main() {
 			return results.RunGrid(e, st, shard, specs)
 		}
 	}
-	if *showTrace {
+	if *ioTrace {
 		w, err := experiments.NewWorkload(*app, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ffis: %v\n", err)
@@ -245,6 +254,12 @@ func main() {
 	}
 
 	res, err := experiments.Fig7Cell(*app, fm, opts)
+	// Flush the event subscribers before rendering: the trace file must be
+	// complete (and its drop count reported) whether the campaign
+	// succeeded or not.
+	if ferr := finishEvents(); ferr != nil {
+		fmt.Fprintf(os.Stderr, "ffis: trace: %v\n", ferr)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ffis: %v\n", err)
 		os.Exit(1)

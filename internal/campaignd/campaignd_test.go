@@ -110,10 +110,14 @@ func TestDistributedKillWorkerByteIdentity(t *testing.T) {
 	srv := httptest.NewServer(coord.Handler())
 	defer srv.Close()
 
+	// Prefetch is on for every worker: the byte-identity assertion below
+	// is also the proof that lease prefetching never changes stored bytes
+	// — including across w1's mid-spec death while holding a prefetched
+	// lease, which must expire and re-queue cleanly.
 	workers := []*Worker{
-		{ID: "w1", Coordinator: srv.URL, Poll: 25 * time.Millisecond, Heartbeat: 50 * time.Millisecond, Batch: 3, FailAfterRecords: 3},
-		{ID: "w2", Coordinator: srv.URL, Poll: 25 * time.Millisecond, Heartbeat: 50 * time.Millisecond, Batch: 3},
-		{ID: "w3", Coordinator: srv.URL, Poll: 25 * time.Millisecond, Heartbeat: 50 * time.Millisecond, Batch: 3},
+		{ID: "w1", Coordinator: srv.URL, Poll: 25 * time.Millisecond, Heartbeat: 50 * time.Millisecond, Batch: 3, FailAfterRecords: 3, Prefetch: true},
+		{ID: "w2", Coordinator: srv.URL, Poll: 25 * time.Millisecond, Heartbeat: 50 * time.Millisecond, Batch: 3, Prefetch: true},
+		{ID: "w3", Coordinator: srv.URL, Poll: 25 * time.Millisecond, Heartbeat: 50 * time.Millisecond, Batch: 3, Prefetch: true},
 	}
 	errs := make([]error, len(workers))
 	var wg sync.WaitGroup
@@ -221,7 +225,7 @@ func TestLeaseExpiryRequeuesFromDeliveredPrefix(t *testing.T) {
 
 	// Heartbeats stop; the TTL lapses; the lease is revoked.
 	*clock = clock.Add(2 * time.Minute)
-	if coord.Heartbeat(g1.LeaseID) {
+	if coord.Heartbeat(HeartbeatRequest{LeaseID: g1.LeaseID}) {
 		t.Fatal("heartbeat on a lapsed lease should be refused")
 	}
 	if err := coord.Ingest(g1.LeaseID, nil, recs); !errors.Is(err, errLeaseGone) {

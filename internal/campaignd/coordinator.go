@@ -66,10 +66,32 @@ type Coordinator struct {
 	ttl    time.Duration
 	now    func() time.Time
 
+	// AuthToken, when non-empty, makes Handler refuse any request that
+	// does not carry "Authorization: Bearer <token>" with 401 — the
+	// shared-secret first slice of endpoint hardening. Set it before the
+	// handler serves.
+	AuthToken string
+
 	mu     sync.Mutex
 	order  []string
 	states map[string]*specState
 	nLease int
+
+	// Operational counters behind GET /metrics. runsIngested counts
+	// records accepted into the store; workerStats holds each worker's
+	// latest cumulative per-stage report from its heartbeats.
+	started         time.Time
+	runsIngested    int64
+	leasesExpired   int
+	leasesCompleted int
+	workerStats     map[string]workerStat
+}
+
+// workerStat is one worker's cumulative event-stream aggregate, as
+// reported on its heartbeats.
+type workerStat struct {
+	done                               int64
+	cloneUS, workNS, classifyUS, simNS int64
 }
 
 // ManifestFor derives the store manifest a spec grid requires: one seed
@@ -135,14 +157,17 @@ func NewCoordinator(st *results.Store, specs []experiments.WireSpec, ttl time.Du
 	if err != nil {
 		return nil, err
 	}
-	return &Coordinator{
-		store:  st,
-		unlock: unlock,
-		ttl:    ttl,
-		now:    time.Now,
-		order:  keys,
-		states: states,
-	}, nil
+	c := &Coordinator{
+		store:       st,
+		unlock:      unlock,
+		ttl:         ttl,
+		now:         time.Now,
+		order:       keys,
+		states:      states,
+		workerStats: map[string]workerStat{},
+	}
+	c.started = c.now()
+	return c, nil
 }
 
 // Close releases the store lock and abandons open leases; partial record
@@ -178,6 +203,7 @@ func (c *Coordinator) expireLocked() {
 		if st.lease != nil && now.After(st.lease.expires) {
 			st.resumeAt = st.lease.next
 			st.lease = nil
+			c.leasesExpired++
 			if st.sink != nil {
 				st.sink.Close()
 				st.sink = nil
@@ -241,13 +267,24 @@ func (c *Coordinator) findLease(id string) *specState {
 	return nil
 }
 
-// Heartbeat extends a lease. false means the lease has been revoked (or
-// never existed): the worker must stop computing the spec.
-func (c *Coordinator) Heartbeat(leaseID string) bool {
+// Heartbeat extends a lease; the request's optional cumulative stage
+// aggregates (derived worker-side from the run-event stream) refresh that
+// worker's row of the /metrics view. false means the lease has been
+// revoked (or never existed): the worker must stop computing the spec.
+func (c *Coordinator) Heartbeat(req HeartbeatRequest) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.expireLocked()
-	st := c.findLease(leaseID)
+	if req.Worker != "" {
+		c.workerStats[req.Worker] = workerStat{
+			done:       req.Done,
+			cloneUS:    req.CloneMicros,
+			workNS:     req.WorkloadNanos,
+			classifyUS: req.ClassifyMicros,
+			simNS:      req.SimNanos,
+		}
+	}
+	st := c.findLease(req.LeaseID)
 	if st == nil {
 		return false
 	}
@@ -300,6 +337,7 @@ func (c *Coordinator) Ingest(leaseID string, header *results.Header, recs []resu
 			return err
 		}
 		st.lease.next++
+		c.runsIngested++
 	}
 	st.lease.expires = c.now().Add(c.ttl)
 	return nil
@@ -326,6 +364,7 @@ func (c *Coordinator) Complete(leaseID string) error {
 	st.sink = nil
 	st.lease = nil
 	st.done = true
+	c.leasesCompleted++
 	return nil
 }
 
@@ -362,6 +401,75 @@ func (c *Coordinator) Progress() []SpecProgress {
 		out = append(out, p)
 	}
 	return out
+}
+
+// Metrics is the coordinator's operational snapshot (GET /metrics):
+// ingest throughput, grid state, lease churn, and the per-run stage
+// latency averages aggregated from every worker's event-stream reports.
+type Metrics struct {
+	UptimeMillis int64   `json:"uptime_ms"`
+	RunsIngested int64   `json:"runs_ingested"`
+	RunsPerSec   float64 `json:"runs_per_sec"`
+
+	SpecsDone    int `json:"specs_done"`
+	SpecsLeased  int `json:"specs_leased"`
+	SpecsPending int `json:"specs_pending"`
+
+	LeasesGranted   int `json:"leases_granted"`
+	LeasesExpired   int `json:"leases_expired"`
+	LeasesCompleted int `json:"leases_completed"`
+
+	// Workers counts the workers that have reported stats on a heartbeat;
+	// the averages below are per completed run across all of them.
+	Workers           int     `json:"workers"`
+	AvgCloneMicros    float64 `json:"avg_clone_us,omitempty"`
+	AvgWorkloadMillis float64 `json:"avg_workload_ms,omitempty"`
+	AvgClassifyMicros float64 `json:"avg_classify_us,omitempty"`
+	AvgSimMillis      float64 `json:"avg_sim_ms,omitempty"`
+}
+
+// Metrics renders the live operational view.
+func (c *Coordinator) Metrics() Metrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked()
+	m := Metrics{
+		RunsIngested:    c.runsIngested,
+		LeasesGranted:   c.nLease,
+		LeasesExpired:   c.leasesExpired,
+		LeasesCompleted: c.leasesCompleted,
+		Workers:         len(c.workerStats),
+	}
+	for _, st := range c.states {
+		switch {
+		case st.done:
+			m.SpecsDone++
+		case st.lease != nil:
+			m.SpecsLeased++
+		default:
+			m.SpecsPending++
+		}
+	}
+	if elapsed := c.now().Sub(c.started); elapsed > 0 {
+		m.UptimeMillis = elapsed.Milliseconds()
+		m.RunsPerSec = float64(c.runsIngested) / elapsed.Seconds()
+	}
+	var total workerStat
+	for _, ws := range c.workerStats {
+		total.done += ws.done
+		total.cloneUS += ws.cloneUS
+		total.workNS += ws.workNS
+		total.classifyUS += ws.classifyUS
+		total.simNS += ws.simNS
+	}
+	if total.done > 0 {
+		n := float64(total.done)
+		m.AvgCloneMicros = float64(total.cloneUS) / n
+		m.AvgWorkloadMillis = float64(total.workNS) / n / 1e6
+		m.AvgClassifyMicros = float64(total.classifyUS) / n
+		m.AvgSimMillis = float64(total.simNS) / n / 1e6
+	}
+	return m
 }
 
 // Done reports whether every spec has finalized.

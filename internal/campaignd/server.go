@@ -1,6 +1,7 @@
 package campaignd
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -40,9 +41,18 @@ type LeaseResponse struct {
 	Grant *LeaseGrant `json:"grant,omitempty"`
 }
 
-// HeartbeatRequest extends a lease.
+// HeartbeatRequest extends a lease. The optional Worker name plus
+// cumulative stage aggregates — summed worker-side from its run-event
+// stream — feed the coordinator's /metrics view; a bare lease renewal
+// leaves them zero.
 type HeartbeatRequest struct {
-	LeaseID string `json:"lease_id"`
+	LeaseID        string `json:"lease_id"`
+	Worker         string `json:"worker,omitempty"`
+	Done           int64  `json:"done,omitempty"`
+	CloneMicros    int64  `json:"clone_us,omitempty"`
+	WorkloadNanos  int64  `json:"workload_ns,omitempty"`
+	ClassifyMicros int64  `json:"classify_us,omitempty"`
+	SimNanos       int64  `json:"sim_ns,omitempty"`
 }
 
 // RecordsRequest streams a batch of finished records. Header rides along
@@ -71,7 +81,11 @@ type ProgressResponse struct {
 //	POST /records    RecordsRequest   -> 204 | 409 | 410
 //	POST /complete   CompleteRequest  -> 204 | 409 | 410
 //	GET  /progress                    -> ProgressResponse
+//	GET  /metrics                     -> Metrics
 //	GET  /report?format=text|csv|json|markdown -> rendered report
+//
+// With AuthToken set, every route requires "Authorization: Bearer
+// <token>" and answers 401 otherwise.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/lease", func(w http.ResponseWriter, r *http.Request) {
@@ -97,7 +111,7 @@ func (c *Coordinator) Handler() http.Handler {
 		if !decode(w, r, &req) {
 			return
 		}
-		if !c.Heartbeat(req.LeaseID) {
+		if !c.Heartbeat(req) {
 			http.Error(w, errLeaseGone.Error(), http.StatusGone)
 			return
 		}
@@ -128,6 +142,9 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, ProgressResponse{Done: c.Done(), Specs: c.Progress()})
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.Metrics())
+	})
 	mux.HandleFunc("/report", func(w http.ResponseWriter, r *http.Request) {
 		out, err := c.Report(r.URL.Query().Get("format"))
 		if err != nil {
@@ -136,7 +153,24 @@ func (c *Coordinator) Handler() http.Handler {
 		}
 		io.WriteString(w, out)
 	})
+	if c.AuthToken != "" {
+		return requireBearer(c.AuthToken, mux)
+	}
 	return mux
+}
+
+// requireBearer gates next behind a shared-secret bearer token, compared
+// in constant time.
+func requireBearer(token string, next http.Handler) http.Handler {
+	want := []byte("Bearer " + token)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got := []byte(r.Header.Get("Authorization"))
+		if len(got) != len(want) || subtle.ConstantTimeCompare(got, want) != 1 {
+			http.Error(w, "campaignd: missing or invalid bearer token", http.StatusUnauthorized)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // ingestStatus maps coordinator errors to HTTP: a dead lease is Gone (the

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -44,8 +45,33 @@ type Worker struct {
 	// lease — the fault the end-to-end test injects to prove a killed
 	// worker's prefix is reused byte-identically.
 	FailAfterRecords int
+	// Token is the coordinator's shared bearer secret; requests carry it
+	// as "Authorization: Bearer <token>" when set.
+	Token string
+	// Prefetch fetches lease N+1 while spec N is still executing, hiding
+	// lease latency on short specs. The prefetched lease is heartbeated
+	// until adopted; if the worker dies first, it simply expires and
+	// re-queues — record bytes are unaffected either way.
+	Prefetch bool
+	// Events, when non-nil, is the bus the worker's engine publishes the
+	// run-lifecycle stream to (the CLI subscribes its renderer and trace
+	// writer there). Nil builds a private bus: the worker always consumes
+	// the stream itself to derive heartbeat progress and barrier-aligned
+	// batch flushes.
+	Events *core.EventBus
 	// Log, when set, receives progress lines.
 	Log func(format string, args ...any)
+
+	// stats accumulates this worker's RunDone aggregates from its event
+	// subscription; heartbeats report them cumulatively to /metrics.
+	stats struct {
+		done, cloneUS, workNS, classifyUS, simNS atomic.Int64
+	}
+	// curSink is the remote sink of the lease currently executing; the
+	// event subscription flushes it at adaptive barriers so the durable
+	// prefix on the coordinator tracks every stopping decision.
+	sinkMu  sync.Mutex
+	curSink *remoteSink
 }
 
 // errWorkerKilled is the simulated mid-lease death of FailAfterRecords.
@@ -62,6 +88,42 @@ func (w *Worker) engine() *core.Engine {
 		w.Engine = &core.Engine{Jobs: w.Jobs}
 	}
 	return w.Engine
+}
+
+// consumeEvent is the worker's own subscription to the run-event stream:
+// RunDone aggregates feed the heartbeat's /metrics report, and Barrier
+// events flush the current lease's buffered records so the coordinator's
+// durable prefix aligns with every adaptive stopping decision.
+func (w *Worker) consumeEvent(ev core.Event) {
+	switch ev.Kind {
+	case core.EventRunDone:
+		w.stats.done.Add(1)
+		w.stats.cloneUS.Add(ev.CloneMicros)
+		w.stats.workNS.Add(ev.WorkloadNanos)
+		w.stats.classifyUS.Add(ev.ClassifyMicros)
+		w.stats.simNS.Add(ev.SimNanos)
+	case core.EventBarrier:
+		w.sinkMu.Lock()
+		s := w.curSink
+		w.sinkMu.Unlock()
+		if s != nil {
+			s.flush()
+		}
+	}
+}
+
+// heartbeatReq builds a lease renewal carrying the worker's cumulative
+// event-stream aggregates.
+func (w *Worker) heartbeatReq(leaseID string) HeartbeatRequest {
+	return HeartbeatRequest{
+		LeaseID:        leaseID,
+		Worker:         w.ID,
+		Done:           w.stats.done.Load(),
+		CloneMicros:    w.stats.cloneUS.Load(),
+		WorkloadNanos:  w.stats.workNS.Load(),
+		ClassifyMicros: w.stats.classifyUS.Load(),
+		SimNanos:       w.stats.simNS.Load(),
+	}
 }
 
 func (w *Worker) client() *http.Client {
@@ -84,39 +146,141 @@ func (w *Worker) poll() time.Duration {
 // fatal: the worker abandons it and asks for the next one, trusting the
 // coordinator to have re-queued the remainder.
 func (w *Worker) Run(ctx context.Context) error {
+	// The worker always consumes the run-event stream itself (heartbeat
+	// progress, barrier flushes); a CLI-provided bus just adds its own
+	// subscribers alongside.
+	bus := w.Events
+	if bus == nil {
+		bus = core.NewEventBus()
+		defer bus.Close()
+	}
+	bus.Subscribe(4096, w.consumeEvent)
+	if e := w.engine(); e.Events == nil {
+		e.Events = bus
+	}
+	var pending *prefetchedLease
+	defer func() {
+		// A prefetched lease the worker never got to: stop its keep-alive
+		// so the coordinator re-queues the spec after one TTL.
+		if pending != nil {
+			pending.take()
+		}
+	}()
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		var resp LeaseResponse
-		status, err := w.post("/lease", LeaseRequest{Worker: w.ID}, &resp)
-		if err != nil {
-			return fmt.Errorf("campaignd: worker %s: lease: %w", w.ID, err)
+		var grant *LeaseGrant
+		var done bool
+		if pending != nil {
+			grant = pending.take()
+			pending = nil
 		}
-		if status != http.StatusOK {
-			return fmt.Errorf("campaignd: worker %s: lease: HTTP %d", w.ID, status)
+		if grant == nil {
+			var resp LeaseResponse
+			status, err := w.post("/lease", LeaseRequest{Worker: w.ID}, &resp)
+			if err != nil {
+				return fmt.Errorf("campaignd: worker %s: lease: %w", w.ID, err)
+			}
+			if status != http.StatusOK {
+				return fmt.Errorf("campaignd: worker %s: lease: HTTP %d", w.ID, status)
+			}
+			done, grant = resp.Done, resp.Grant
 		}
 		switch {
-		case resp.Done:
+		case done:
 			w.logf("worker %s: grid complete", w.ID)
 			return nil
-		case resp.Grant == nil:
+		case grant == nil:
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
 			case <-time.After(w.poll()):
 			}
 		default:
-			err := w.execute(ctx, *resp.Grant)
+			if w.Prefetch {
+				pending = w.startPrefetch(ctx)
+			}
+			err := w.execute(ctx, *grant)
 			switch {
 			case err == nil:
 			case errors.Is(err, core.ErrAborted), errors.Is(err, errLeaseLost):
-				w.logf("worker %s: lost lease %s on %q, moving on", w.ID, resp.Grant.LeaseID, resp.Grant.Spec.Key)
+				w.logf("worker %s: lost lease %s on %q, moving on", w.ID, grant.LeaseID, grant.Spec.Key)
 			default:
 				return err
 			}
 		}
 	}
+}
+
+// prefetchedLease is a lease fetched ahead of need: while spec N still
+// computes, a goroutine asks the coordinator for spec N+1 and keeps the
+// grant alive with heartbeats until the main loop adopts or abandons it.
+// Correctness never depends on it: an abandoned prefetch simply expires
+// and re-queues, and the records of the next spec are the same bytes
+// whether its lease was prefetched or polled for.
+type prefetchedLease struct {
+	w     *Worker
+	mu    sync.Mutex
+	grant *LeaseGrant
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+func (w *Worker) startPrefetch(ctx context.Context) *prefetchedLease {
+	p := &prefetchedLease{w: w, stop: make(chan struct{}), done: make(chan struct{})}
+	go p.run(ctx)
+	return p
+}
+
+func (p *prefetchedLease) run(ctx context.Context) {
+	defer close(p.done)
+	var resp LeaseResponse
+	status, err := p.w.post("/lease", LeaseRequest{Worker: p.w.ID}, &resp)
+	if err != nil || status != http.StatusOK || resp.Grant == nil {
+		// Nothing to prefetch (all leased out, grid done, coordinator
+		// unreachable): the main loop proceeds exactly as without prefetch.
+		return
+	}
+	p.mu.Lock()
+	p.grant = resp.Grant
+	p.mu.Unlock()
+	interval := p.w.Heartbeat
+	if interval <= 0 {
+		interval = time.Duration(resp.Grant.TTLMillis) * time.Millisecond / 3
+		if interval <= 0 {
+			interval = time.Second
+		}
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			status, err := p.w.post("/heartbeat", p.w.heartbeatReq(resp.Grant.LeaseID), nil)
+			if err != nil || status != http.StatusNoContent {
+				// Lease lost; the coordinator has re-queued the spec.
+				p.mu.Lock()
+				p.grant = nil
+				p.mu.Unlock()
+				return
+			}
+		}
+	}
+}
+
+// take stops the keep-alive and hands over the grant — nil when the
+// prefetch came back empty or the lease lapsed in the meantime.
+func (p *prefetchedLease) take() *LeaseGrant {
+	close(p.stop)
+	<-p.done
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.grant
 }
 
 // errLeaseLost reports a 410 from the coordinator mid-lease: the spec has
@@ -141,6 +305,14 @@ func (w *Worker) execute(ctx context.Context, grant LeaseGrant) error {
 	go w.heartbeatLoop(hbCtx, grant, &revoked)
 
 	sink := &remoteSink{w: w, leaseID: grant.LeaseID, next: grant.Start, pending: map[int]results.Record{}}
+	w.sinkMu.Lock()
+	w.curSink = sink
+	w.sinkMu.Unlock()
+	defer func() {
+		w.sinkMu.Lock()
+		w.curSink = nil
+		w.sinkMu.Unlock()
+	}()
 	spec.Config.Sink = sink
 	spec.Config.RunFilter = core.LeaseFilter(grant.Start)
 	spec.Config.DiscardRecords = true
@@ -189,7 +361,7 @@ func (w *Worker) heartbeatLoop(ctx context.Context, grant LeaseGrant, revoked *a
 		case <-ctx.Done():
 			return
 		case <-t.C:
-			status, err := w.post("/heartbeat", HeartbeatRequest{LeaseID: grant.LeaseID}, nil)
+			status, err := w.post("/heartbeat", w.heartbeatReq(grant.LeaseID), nil)
 			if err != nil || status != http.StatusNoContent {
 				revoked.Store(true)
 				return
@@ -205,7 +377,15 @@ func (w *Worker) post(path string, body, out any) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	resp, err := w.client().Post(w.Coordinator+path, "application/json", bytes.NewReader(raw))
+	req, err := http.NewRequest(http.MethodPost, w.Coordinator+path, bytes.NewReader(raw))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if w.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+w.Token)
+	}
+	resp, err := w.client().Do(req)
 	if err != nil {
 		return 0, err
 	}
@@ -229,10 +409,13 @@ func (w *Worker) post(path string, body, out any) (int, error) {
 // order records into strict index order (the same pending-map discipline
 // results.SpecSink uses) and streams contiguous batches to the
 // coordinator, so the wire only ever carries the next piece of the
-// resumable prefix. The engine serializes sink calls, so no locking.
+// resumable prefix. The engine serializes Record/BeginCampaign calls, but
+// the worker's event subscription flushes from its drain goroutine at
+// adaptive barriers, so a mutex guards all state.
 type remoteSink struct {
 	w       *Worker
 	leaseID string
+	mu      sync.Mutex
 	next    int
 	pending map[int]results.Record
 	batch   []results.Record
@@ -245,6 +428,8 @@ type remoteSink struct {
 // batch: validation failures (world drift, wrong spec) surface before any
 // compute-heavy record streaming starts.
 func (s *remoteSink) BeginCampaign(meta core.CampaignMeta) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.begun {
 		return nil
 	}
@@ -260,6 +445,8 @@ func (s *remoteSink) BeginCampaign(meta core.CampaignMeta) error {
 // Record buffers one finished run and ships every contiguous batch of
 // batchSize records.
 func (s *remoteSink) Record(rec core.RunRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.err != nil {
 		return s.err
 	}
@@ -275,7 +462,7 @@ func (s *remoteSink) Record(rec core.RunRecord) error {
 		s.next++
 	}
 	if len(s.batch) >= s.batchSize() {
-		return s.flush()
+		return s.flushLocked()
 	}
 	return nil
 }
@@ -292,6 +479,12 @@ func (s *remoteSink) batchSize() int {
 // coordinator, so the "kill" lands exactly between two batches — the same
 // place a real SIGKILL between HTTP posts would.
 func (s *remoteSink) flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushLocked()
+}
+
+func (s *remoteSink) flushLocked() error {
 	if s.err != nil {
 		return s.err
 	}

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sync"
 
 	"ffis/internal/classify"
 	"ffis/internal/stats"
@@ -330,61 +329,6 @@ func runRecovering(run func(vfs.FS) error, fs vfs.FS) (err error) {
 	return run(fs)
 }
 
-// RunOnce performs a single fault-injection run with the given target
-// instance, returning its record. Each run gets a fresh file system —
-// matching the paper, which remounts FFISFS for every run.
-func RunOnce(w Workload, sig Signature, target int64, rng *stats.RNG) (RunRecord, error) {
-	return RunOnceMounts(w, sig, target, rng, nil)
-}
-
-// RunOnceMounts is RunOnce with the injector armed only on the I/O routed
-// to the given mount points (empty = the whole file system). The workload
-// runs on a view whose armed tiers are wrapped by the injector; outcome
-// classification runs on the clean view of the same storage.
-func RunOnceMounts(w Workload, sig Signature, target int64, rng *stats.RNG, mounts []string) (RunRecord, error) {
-	base, err := buildWorld(w)
-	if err != nil {
-		return RunRecord{}, err
-	}
-	return runOnceWorld(base, w, sig, target, rng, mounts)
-}
-
-// runOnceWorld performs one injection run on an already-built pristine
-// world: arm, run, classify on the clean view.
-func runOnceWorld(base vfs.FS, w Workload, sig Signature, target int64, rng *stats.RNG, mounts []string) (RunRecord, error) {
-	inj := NewInjector(sig, target, rng)
-	armed, err := interposeMounts(base, mounts, inj.Wrap)
-	if err != nil {
-		return RunRecord{}, err
-	}
-	// Measure only the application's own I/O on the simulated clock: reset
-	// before Run (excluding Setup and any profiling charges, and making COW
-	// clones and fresh rebuilds indistinguishable), read before
-	// classification touches the world.
-	vfs.ResetSim(base)
-	runErr := runRecovering(w.Run, armed)
-	simNanos := int64(0)
-	if elapsed, ok := vfs.SimElapsed(base); ok {
-		simNanos = int64(elapsed)
-	}
-	outcome := classify.Crash
-	if w.Classify != nil {
-		outcome = w.Classify(base, runErr)
-	} else if runErr == nil {
-		outcome = classify.Benign
-	}
-	mut, fired := inj.Fired()
-	return RunRecord{
-		Target:   target,
-		Outcome:  outcome,
-		Mutation: mut,
-		Fired:    fired,
-		Shots:    inj.FiredShots(),
-		RunErr:   runErr,
-		SimNanos: simNanos,
-	}, nil
-}
-
 // Campaign executes a full statistical fault-injection campaign: Setup runs
 // once and is snapshotted, a profiling pass on a snapshot clone counts the
 // target primitive, then cfg.Runs injection runs — each on its own cheap
@@ -422,8 +366,14 @@ func Campaign(cfg CampaignConfig, w Workload) (CampaignResult, error) {
 	if workers > cfg.Runs {
 		workers = cfg.Runs
 	}
-	sem := make(chan struct{}, workers)
-	return runInjections(cfg, w, snap, sig, count, sem, nil)
+	r := &Runner{
+		Workload:     w,
+		Config:       cfg,
+		Snapshot:     snap,
+		ProfileCount: count,
+		Pool:         make(chan struct{}, workers),
+	}
+	return r.Run()
 }
 
 // runStream derives run idx's independent, reproducible RNG stream from the
@@ -432,190 +382,6 @@ func Campaign(cfg CampaignConfig, w Workload) (CampaignResult, error) {
 // worker pool is.
 func runStream(seed uint64, idx int) *stats.RNG {
 	return stats.NewRNG(seed ^ (uint64(idx)+1)*0x9e3779b97f4a7c15)
-}
-
-// runInjections executes the campaign's injection runs (all of [0, Runs),
-// or the RunFilter subset) against worlds served by snap, bounded by the
-// semaphore sem — a campaign-private pool under Campaign, the grid-wide
-// shared pool under Engine. progress (optional) receives the completed-run
-// count as runs finish.
-//
-// With cfg.Stop set, dispatch is chunked at the rule's index barriers: the
-// runner drains each chunk completely, evaluates the rule on the prefix
-// tally (executed outcomes plus PriorOutcome for indices the RunFilter
-// skipped), and stops dispatching once satisfied. The evaluated prefix is
-// always a complete [0, barrier) — never a completion-order sample — so the
-// stopping index depends only on (Seed, Runs, rule), not on Workers.
-//
-// Error semantics: a failing run (world build or arming failure — never the
-// application's own error, which classification absorbs) does not poison
-// its siblings. Every successful run is tallied, recorded, and delivered to
-// the sink; the returned error reports the lowest failing run index. The
-// result's Tally therefore always covers exactly res.Records (plus nothing
-// else), never a silent prefix of them.
-func runInjections(cfg CampaignConfig, w Workload, snap *WorldSnapshot, sig Signature, count int64, sem chan struct{}, progress func(done int)) (CampaignResult, error) {
-	res := CampaignResult{Workload: w.Name, Signature: sig, ProfileCount: count}
-	rule, err := cfg.NormalizedStop()
-	if err != nil {
-		return res, err
-	}
-	if rule != nil && cfg.RunFilter != nil && cfg.PriorOutcome == nil {
-		return res, errors.New("core: adaptive stopping under a RunFilter needs PriorOutcome for the skipped indices (shards cannot run adaptively)")
-	}
-	if cfg.Sink != nil {
-		if err := cfg.Sink.BeginCampaign(CampaignMeta{
-			Workload: w.Name, Signature: sig,
-			ProfileCount: count, Runs: cfg.Runs, Seed: cfg.Seed,
-			Stop: rule,
-		}); err != nil {
-			return res, fmt.Errorf("core: record sink: %w", err)
-		}
-	}
-	// In streaming mode (DiscardRecords) nothing per-index is retained:
-	// the tally accumulates online and memory stays O(workers).
-	var records []RunRecord
-	var ran []bool
-	if !cfg.DiscardRecords {
-		records = make([]RunRecord, cfg.Runs)
-		ran = make([]bool, cfg.Runs)
-	}
-	var (
-		wg sync.WaitGroup
-		// mu guards the shared accumulators and serializes sink and
-		// progress delivery, so Done counts reach the callback in
-		// monotone order and the sink never sees overlapping calls.
-		mu       sync.Mutex
-		done     int
-		tally    classify.Tally
-		simTotal int64
-		failIdx  = -1
-		failErr  error
-		sinkErr  error
-		// priorTally accumulates the persisted outcomes of skipped indices
-		// (adaptive resume); touched only from the dispatch loop, read only
-		// after its chunk has drained.
-		priorTally classify.Tally
-		priorErr   error
-		// aborted latches the Abort hook's decision; set only from the
-		// dispatch loop, read only after the chunk has drained.
-		aborted bool
-	)
-	// dispatch launches runs for indices [lo, hi) and waits for the chunk to
-	// drain, so the caller observes a complete prefix.
-	dispatch := func(lo, hi int) {
-		for idx := lo; idx < hi; idx++ {
-			if cfg.Abort != nil && cfg.Abort() {
-				aborted = true
-				break
-			}
-			if cfg.RunFilter != nil && !cfg.RunFilter(idx) {
-				if rule != nil && priorErr == nil {
-					if o, ok := cfg.PriorOutcome(idx); ok {
-						priorTally.Add(o)
-					} else {
-						priorErr = fmt.Errorf("core: adaptive resume: no persisted outcome for skipped run %d", idx)
-					}
-				}
-				continue
-			}
-			idx := idx
-			sem <- struct{}{}
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				defer func() { <-sem }()
-				rng := runStream(cfg.Seed, idx)
-				target := rng.Int64n(count)
-				rec, err := func() (RunRecord, error) {
-					base, err := snap.World()
-					if err != nil {
-						return RunRecord{}, err
-					}
-					return runOnceWorld(base, w, sig, target, rng, cfg.ArmMounts)
-				}()
-				rec.Index = idx
-				mu.Lock()
-				defer mu.Unlock()
-				if err != nil {
-					if failIdx < 0 || idx < failIdx {
-						failIdx, failErr = idx, err
-					}
-				} else {
-					tally.Add(rec.Outcome)
-					simTotal += rec.SimNanos
-					if records != nil {
-						records[idx], ran[idx] = rec, true
-					}
-					if cfg.Sink != nil && sinkErr == nil {
-						// The sink goes sterile after its first error: a
-						// persistent store that failed mid-stream must not
-						// receive further records it could misorder.
-						sinkErr = cfg.Sink.Record(rec)
-					}
-				}
-				done++
-				if progress != nil {
-					progress(done)
-				}
-			}()
-		}
-		wg.Wait()
-	}
-	if rule == nil {
-		dispatch(0, cfg.Runs)
-	} else {
-		for next := 0; ; {
-			b := rule.NextBarrier(next)
-			dispatch(next, b)
-			next = b
-			if failErr != nil || sinkErr != nil || priorErr != nil || aborted {
-				break
-			}
-			res.StopIndex = b
-			if b >= rule.MaxRuns {
-				break
-			}
-			// The complete prefix [0, b): executed outcomes plus the
-			// persisted outcomes of skipped indices. wg has drained, so
-			// tally has no concurrent writers.
-			outcomes := classify.Outcomes()
-			counts := make([]int, len(outcomes))
-			trials := 0
-			for i, o := range outcomes {
-				counts[i] = tally.Count(o) + priorTally.Count(o)
-				trials += counts[i]
-			}
-			if rule.Satisfied(counts, trials) {
-				break
-			}
-		}
-		// Persist the decision: a sink that stores records by index needs
-		// the stop index to declare the stream complete.
-		if sr, ok := cfg.Sink.(StopRecorder); ok && failErr == nil && sinkErr == nil && priorErr == nil && !aborted {
-			sinkErr = sr.RecordStop(res.StopIndex)
-		}
-	}
-
-	res.Tally = tally
-	res.SimNanos = simTotal
-	if records != nil {
-		for idx, ok := range ran {
-			if ok {
-				res.Records = append(res.Records, records[idx])
-			}
-		}
-	}
-	switch {
-	case failErr != nil:
-		return res, fmt.Errorf("core: run %d: %w", failIdx, failErr)
-	case sinkErr != nil:
-		return res, fmt.Errorf("core: record sink: %w", sinkErr)
-	case priorErr != nil:
-		return res, priorErr
-	case aborted:
-		return res, ErrAborted
-	}
-	return res, nil
 }
 
 // GoldenSnapshot captures the bytes of every file under root after a

@@ -44,18 +44,6 @@ type GridResult struct {
 	Err    error
 }
 
-// EngineEvent is one item of the engine's progress/result stream.
-type EngineEvent struct {
-	// Key names the campaign the event belongs to.
-	Key string
-	// Done and Total count completed vs scheduled injection runs.
-	Done, Total int
-	// Result is non-nil exactly once per campaign, on its completion event.
-	Result *CampaignResult
-	// Err is the campaign's terminal error, delivered with the final event.
-	Err error
-}
-
 // Engine schedules a grid of fault-injection campaigns over one shared
 // bounded worker pool. This is the statistical-scale substrate the paper's
 // methodology implies (1,000 runs × cells × models) and the ROADMAP's
@@ -74,13 +62,13 @@ type Engine struct {
 	// Jobs bounds concurrently executing work items (setup/profile passes
 	// and injection runs) across the whole grid; <= 0 selects GOMAXPROCS.
 	Jobs int
-	// Progress, when set, receives the event stream. Events for different
-	// campaigns interleave, but delivery is serialized — the callback never
-	// runs concurrently with itself.
-	Progress func(EngineEvent)
+	// Events, when non-nil, receives the structured run-lifecycle stream
+	// of every campaign the engine runs. Streams for different campaigns
+	// interleave, but each subscriber sees a single serialized order and
+	// its callback never runs concurrently with itself.
+	Events *EventBus
 
 	mu       sync.Mutex
-	emitMu   sync.Mutex
 	prepared map[string]*enginePrep
 }
 
@@ -122,13 +110,10 @@ func (e *Engine) jobs() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-func (e *Engine) emit(ev EngineEvent) {
-	if e.Progress == nil {
-		return
+func (e *Engine) publish(ev Event) {
+	if e.Events != nil {
+		e.Events.Publish(ev)
 	}
-	e.emitMu.Lock()
-	defer e.emitMu.Unlock()
-	e.Progress(ev)
 }
 
 // prep returns (creating on first use) the memoization record for key.
@@ -254,18 +239,22 @@ func (e *Engine) Run(specs []CampaignSpec) []GridResult {
 	return out
 }
 
-// runSpec runs one campaign cell on the shared pool.
+// runSpec runs one campaign cell on the shared pool: validate, memoized
+// profile + snapshot, then hand the spec to a Runner. Failures before the
+// Runner starts still close the spec's event stream with a terminal
+// SpecDone so subscribers see every campaign bracketed.
 func (e *Engine) runSpec(spec CampaignSpec, sem chan struct{}) (CampaignResult, error) {
 	cfg := spec.Config
-	if cfg.Runs <= 0 {
-		err := errors.New("core: campaign needs Runs > 0")
-		e.emit(EngineEvent{Key: spec.Key, Err: err})
+	fail := func(err error) (CampaignResult, error) {
+		e.publish(Event{Kind: EventSpecDone, Key: spec.Key, Total: cfg.Runs, Err: err})
 		return CampaignResult{}, err
+	}
+	if cfg.Runs <= 0 {
+		return fail(errors.New("core: campaign needs Runs > 0"))
 	}
 	sig := cfg.Fault.Signature()
 	if err := sig.Validate(); err != nil {
-		e.emit(EngineEvent{Key: spec.Key, Total: cfg.Runs, Err: err})
-		return CampaignResult{}, err
+		return fail(err)
 	}
 	p := e.prep(spec.worldKey(), spec.Workload)
 
@@ -275,44 +264,24 @@ func (e *Engine) runSpec(spec CampaignSpec, sem chan struct{}) (CampaignResult, 
 	count, err := p.profileCount(sig, cfg.ArmMounts, cfg.FreshWorlds)
 	<-sem
 	if err != nil {
-		e.emit(EngineEvent{Key: spec.Key, Total: cfg.Runs, Err: err})
-		return CampaignResult{}, err
+		return fail(err)
 	}
 	if count == 0 {
-		e.emit(EngineEvent{Key: spec.Key, Total: cfg.Runs, Err: ErrNoTargets})
+		e.publish(Event{Kind: EventSpecDone, Key: spec.Key, Total: cfg.Runs, Err: ErrNoTargets})
 		return CampaignResult{Workload: spec.Workload.Name, Signature: sig}, ErrNoTargets
 	}
 	snap, err := p.snapshot(cfg.FreshWorlds)
 	if err != nil {
-		e.emit(EngineEvent{Key: spec.Key, Total: cfg.Runs, Err: err})
-		return CampaignResult{}, err
+		return fail(err)
 	}
-
-	// A RunFilter (resume skipping persisted indices, shard ownership)
-	// shrinks the work actually executed; progress accounting reports the
-	// executed total so "done/total" reaches 100% exactly at completion.
-	total := cfg.execTotal()
-	var progress func(int)
-	if e.Progress != nil {
-		progress = func(done int) {
-			if done < total { // the completion event carries the result
-				e.emit(EngineEvent{Key: spec.Key, Done: done, Total: total})
-			}
-		}
+	r := &Runner{
+		Key:          spec.Key,
+		Workload:     spec.Workload,
+		Config:       cfg,
+		Snapshot:     snap,
+		ProfileCount: count,
+		Pool:         sem,
+		Events:       e.Events,
 	}
-	res, err := runInjections(cfg, spec.Workload, snap, sig, count, sem, progress)
-	if err != nil {
-		e.emit(EngineEvent{Key: spec.Key, Done: total, Total: total, Err: err})
-		return res, err
-	}
-	if res.StopIndex > 0 && res.StopIndex < cfg.Runs {
-		// Adaptive early stop: the completion event reports the runs that
-		// actually executed, so progress ends at done/done rather than
-		// pretending the unspent budget ran.
-		executed := res.Tally.Total()
-		e.emit(EngineEvent{Key: spec.Key, Done: executed, Total: executed, Result: &res})
-		return res, nil
-	}
-	e.emit(EngineEvent{Key: spec.Key, Done: total, Total: total, Result: &res})
-	return res, nil
+	return r.Run()
 }

@@ -290,30 +290,56 @@ func TestEngineNoTargetsDoesNotAbortGrid(t *testing.T) {
 	}
 }
 
-// TestEngineProgressStream checks the event stream: monotone per-campaign
-// Done counts, one terminal event per campaign carrying the result, totals
-// matching Runs.
-func TestEngineProgressStream(t *testing.T) {
-	var events []EngineEvent
-	e := &Engine{Jobs: 3, Progress: func(ev EngineEvent) { events = append(events, ev) }}
+// TestEngineEventStream checks the structured event stream: every campaign
+// is bracketed by one SpecStart and one terminal SpecDone carrying the
+// result, RunDone Done counts are per-campaign monotone, and totals match
+// Runs.
+func TestEngineEventStream(t *testing.T) {
+	bus := NewEventBus()
+	var mu sync.Mutex
+	var events []Event
+	bus.Subscribe(0, func(ev Event) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	})
+	e := &Engine{Jobs: 3, Events: bus}
 	specs := gridSpecs(8)
 	results := e.Run(specs)
+	bus.Close()
 	for _, r := range results {
 		if r.Err != nil {
 			t.Fatalf("%s: %v", r.Spec.Key, r.Err)
 		}
 	}
+	starts := map[string]int{}
 	lastDone := map[string]int{}
 	finals := map[string]*CampaignResult{}
 	for _, ev := range events {
-		if ev.Total != 8 {
-			t.Fatalf("event total %d, want 8", ev.Total)
-		}
-		if ev.Done < lastDone[ev.Key] {
-			t.Fatalf("%s: Done went backwards (%d after %d)", ev.Key, ev.Done, lastDone[ev.Key])
-		}
-		lastDone[ev.Key] = ev.Done
-		if ev.Result != nil {
+		switch ev.Kind {
+		case EventSpecStart:
+			starts[ev.Key]++
+			if ev.Total != 8 || ev.Runs != 8 {
+				t.Fatalf("%s: SpecStart total/runs %d/%d, want 8/8", ev.Key, ev.Total, ev.Runs)
+			}
+			if ev.ProfileCount <= 0 {
+				t.Fatalf("%s: SpecStart profile count %d", ev.Key, ev.ProfileCount)
+			}
+		case EventRunDone:
+			if ev.Total != 8 {
+				t.Fatalf("%s: RunDone total %d, want 8", ev.Key, ev.Total)
+			}
+			if ev.Done <= lastDone[ev.Key] {
+				t.Fatalf("%s: Done not monotone (%d after %d)", ev.Key, ev.Done, lastDone[ev.Key])
+			}
+			lastDone[ev.Key] = ev.Done
+			if ev.Index < 0 || ev.Index >= 8 {
+				t.Fatalf("%s: RunDone index %d", ev.Key, ev.Index)
+			}
+		case EventSpecDone:
+			if ev.Err != nil {
+				t.Fatalf("%s: terminal error %v", ev.Key, ev.Err)
+			}
 			if finals[ev.Key] != nil {
 				t.Fatalf("%s: two terminal events", ev.Key)
 			}
@@ -321,6 +347,9 @@ func TestEngineProgressStream(t *testing.T) {
 		}
 	}
 	for _, s := range specs {
+		if starts[s.Key] != 1 {
+			t.Fatalf("%s: %d SpecStart events, want 1", s.Key, starts[s.Key])
+		}
 		res := finals[s.Key]
 		if res == nil {
 			t.Fatalf("%s: no terminal event", s.Key)

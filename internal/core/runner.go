@@ -1,0 +1,347 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ffis/internal/classify"
+	"ffis/internal/stats"
+	"ffis/internal/vfs"
+)
+
+// Runner owns the per-run campaign lifecycle — clone-or-rebuild the
+// world, arm the injector, run the workload, classify the artifact,
+// record and tally — for exactly one spec, parameterized by the
+// CampaignConfig hooks (Sink, RunFilter, Abort, Stop barriers,
+// PriorOutcome). It is the only place in the tree that sequences those
+// stages: Campaign and Engine.runSpec are thin drivers that differ only
+// in where the snapshot, profile count, and worker pool come from, and
+// every other layer (persisted grids, distributed workers) goes through
+// them.
+type Runner struct {
+	// Key labels the spec's events; empty falls back to the workload name.
+	Key      string
+	Workload Workload
+	// Config drives the campaign; the caller has already validated the
+	// fault signature and Runs > 0.
+	Config CampaignConfig
+	// Snapshot serves one pristine post-Setup world per run (COW clone or
+	// full rebuild — the snapshot decides).
+	Snapshot *WorldSnapshot
+	// ProfileCount is the target primitive's dynamic count from the
+	// fault-free profiling pass; each run draws its target uniformly
+	// from [0, ProfileCount).
+	ProfileCount int64
+	// Pool bounds concurrent runs: one slot acquired per dispatched run.
+	// Campaign hands the Runner a private pool sized by Workers; the
+	// Engine hands every Runner its single grid-wide pool.
+	Pool chan struct{}
+	// Events, when non-nil, receives the spec's structured stream:
+	// SpecStart, one RunDone per successful run, Barrier/StopDecision at
+	// adaptive chunk boundaries, and exactly one terminal SpecDone.
+	Events *EventBus
+}
+
+func (r *Runner) key() string {
+	if r.Key != "" {
+		return r.Key
+	}
+	return r.Workload.Name
+}
+
+func (r *Runner) publish(ev Event) {
+	if r.Events == nil {
+		return
+	}
+	ev.Key = r.key()
+	r.Events.Publish(ev)
+}
+
+// Run executes the spec's injection runs (all of [0, Runs), or the
+// RunFilter subset) against worlds served by the snapshot, bounded by the
+// pool.
+//
+// With Config.Stop set, dispatch is chunked at the rule's index barriers:
+// each chunk drains completely, the rule is evaluated on the prefix tally
+// (executed outcomes plus PriorOutcome for indices the RunFilter
+// skipped), and dispatch stops once satisfied. The evaluated prefix is
+// always a complete [0, barrier) — never a completion-order sample — so
+// the stopping index depends only on (Seed, Runs, rule), not on pool
+// width.
+//
+// Error semantics: a failing run (world build or arming failure — never
+// the application's own error, which classification absorbs) does not
+// poison its siblings. Every successful run is tallied, recorded, and
+// delivered to the sink; the returned error reports the lowest failing
+// run index. The result's Tally therefore always covers exactly
+// res.Records (plus nothing else), never a silent prefix of them.
+func (r *Runner) Run() (CampaignResult, error) {
+	cfg, w := r.Config, r.Workload
+	sig := cfg.Fault.Signature()
+	count := r.ProfileCount
+	res := CampaignResult{Workload: w.Name, Signature: sig, ProfileCount: count}
+	// A RunFilter (resume skipping persisted indices, shard ownership)
+	// shrinks the work actually executed; progress accounting reports the
+	// executed total so done/total reaches 100% exactly at completion.
+	total := cfg.execTotal()
+	r.publish(Event{Kind: EventSpecStart, Total: total, Runs: cfg.Runs, ProfileCount: count})
+	fail := func(err error) (CampaignResult, error) {
+		r.publish(Event{Kind: EventSpecDone, Done: total, Total: total, Err: err})
+		return res, err
+	}
+	rule, err := cfg.NormalizedStop()
+	if err != nil {
+		return fail(err)
+	}
+	if rule != nil && cfg.RunFilter != nil && cfg.PriorOutcome == nil {
+		return fail(errors.New("core: adaptive stopping under a RunFilter needs PriorOutcome for the skipped indices (shards cannot run adaptively)"))
+	}
+	if cfg.Sink != nil {
+		if err := cfg.Sink.BeginCampaign(CampaignMeta{
+			Workload: w.Name, Signature: sig,
+			ProfileCount: count, Runs: cfg.Runs, Seed: cfg.Seed,
+			Stop: rule,
+		}); err != nil {
+			return fail(fmt.Errorf("core: record sink: %w", err))
+		}
+	}
+	// In streaming mode (DiscardRecords) nothing per-index is retained:
+	// the tally accumulates online and memory stays O(pool).
+	var records []RunRecord
+	var ran []bool
+	if !cfg.DiscardRecords {
+		records = make([]RunRecord, cfg.Runs)
+		ran = make([]bool, cfg.Runs)
+	}
+	var (
+		wg sync.WaitGroup
+		// mu guards the shared accumulators and serializes sink delivery
+		// and event publication, so Done counts enter the stream in
+		// monotone order and the sink never sees overlapping calls.
+		mu       sync.Mutex
+		done     int
+		tally    classify.Tally
+		simTotal int64
+		failIdx  = -1
+		failErr  error
+		sinkErr  error
+		// priorTally accumulates the persisted outcomes of skipped indices
+		// (adaptive resume); touched only from the dispatch loop, read only
+		// after its chunk has drained.
+		priorTally classify.Tally
+		priorErr   error
+		// aborted latches the Abort hook's decision; set only from the
+		// dispatch loop, read only after the chunk has drained.
+		aborted bool
+	)
+	// dispatch launches runs for indices [lo, hi) and waits for the chunk
+	// to drain, so the caller observes a complete prefix.
+	dispatch := func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			if cfg.Abort != nil && cfg.Abort() {
+				aborted = true
+				break
+			}
+			if cfg.RunFilter != nil && !cfg.RunFilter(idx) {
+				if rule != nil && priorErr == nil {
+					if o, ok := cfg.PriorOutcome(idx); ok {
+						priorTally.Add(o)
+					} else {
+						priorErr = fmt.Errorf("core: adaptive resume: no persisted outcome for skipped run %d", idx)
+					}
+				}
+				continue
+			}
+			idx := idx
+			r.Pool <- struct{}{}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-r.Pool }()
+				rng := runStream(cfg.Seed, idx)
+				target := rng.Int64n(count)
+				var st stageTimes
+				rec, err := func() (RunRecord, error) {
+					t0 := time.Now()
+					base, err := r.Snapshot.World()
+					st.cloneNs = time.Since(t0).Nanoseconds()
+					if err != nil {
+						return RunRecord{}, err
+					}
+					return runOnceTimed(base, w, sig, target, rng, cfg.ArmMounts, &st)
+				}()
+				rec.Index = idx
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					if failIdx < 0 || idx < failIdx {
+						failIdx, failErr = idx, err
+					}
+				} else {
+					tally.Add(rec.Outcome)
+					simTotal += rec.SimNanos
+					if records != nil {
+						records[idx], ran[idx] = rec, true
+					}
+					if cfg.Sink != nil && sinkErr == nil {
+						// The sink goes sterile after its first error: a
+						// persistent store that failed mid-stream must not
+						// receive further records it could misorder.
+						sinkErr = cfg.Sink.Record(rec)
+					}
+				}
+				done++
+				if err == nil {
+					r.publish(Event{
+						Kind: EventRunDone, Index: idx, Done: done, Total: total,
+						Target: rec.Target, Outcome: rec.Outcome, Fired: rec.Fired,
+						CloneMicros:    st.cloneNs / 1e3,
+						WorkloadNanos:  st.workNs,
+						ClassifyMicros: st.classifyNs / 1e3,
+						SimNanos:       rec.SimNanos,
+					})
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if rule == nil {
+		dispatch(0, cfg.Runs)
+	} else {
+		for next := 0; ; {
+			b := rule.NextBarrier(next)
+			dispatch(next, b)
+			next = b
+			if failErr != nil || sinkErr != nil || priorErr != nil || aborted {
+				break
+			}
+			res.StopIndex = b
+			// wg has drained, so done/tally have no concurrent writers.
+			r.publish(Event{Kind: EventBarrier, Barrier: b, Done: done, Total: total})
+			if b >= rule.MaxRuns {
+				break
+			}
+			// The complete prefix [0, b): executed outcomes plus the
+			// persisted outcomes of skipped indices.
+			outcomes := classify.Outcomes()
+			counts := make([]int, len(outcomes))
+			trials := 0
+			for i, o := range outcomes {
+				counts[i] = tally.Count(o) + priorTally.Count(o)
+				trials += counts[i]
+			}
+			stopped := rule.Satisfied(counts, trials)
+			r.publish(Event{Kind: EventStopDecision, StopIndex: b, Stopped: stopped, Done: done, Total: total})
+			if stopped {
+				break
+			}
+		}
+		// Persist the decision: a sink that stores records by index needs
+		// the stop index to declare the stream complete.
+		if sr, ok := cfg.Sink.(StopRecorder); ok && failErr == nil && sinkErr == nil && priorErr == nil && !aborted {
+			sinkErr = sr.RecordStop(res.StopIndex)
+		}
+	}
+
+	res.Tally = tally
+	res.SimNanos = simTotal
+	if records != nil {
+		for idx, ok := range ran {
+			if ok {
+				res.Records = append(res.Records, records[idx])
+			}
+		}
+	}
+	switch {
+	case failErr != nil:
+		return fail(fmt.Errorf("core: run %d: %w", failIdx, failErr))
+	case sinkErr != nil:
+		return fail(fmt.Errorf("core: record sink: %w", sinkErr))
+	case priorErr != nil:
+		return fail(priorErr)
+	case aborted:
+		return fail(ErrAborted)
+	}
+	// Adaptive early stop: the terminal event reports the runs that
+	// actually executed, so progress ends at done/done rather than
+	// pretending the unspent budget ran.
+	final := total
+	if res.StopIndex > 0 && res.StopIndex < cfg.Runs {
+		final = res.Tally.Total()
+	}
+	r.publish(Event{Kind: EventSpecDone, Done: final, Total: final, Result: &res})
+	return res, nil
+}
+
+// stageTimes carries one run's per-stage wall-clock costs into the event
+// stream. They never enter RunRecord: persisted record bytes are a pure
+// function of (spec, seed, index), pinned by the seed-pinned golden
+// suites, and wall-clock noise must not leak into them.
+type stageTimes struct {
+	cloneNs    int64
+	workNs     int64
+	classifyNs int64
+}
+
+// RunOnce performs a single fault-injection run with the given target
+// instance, returning its record. Each run gets a fresh file system —
+// matching the paper, which remounts FFISFS for every run.
+func RunOnce(w Workload, sig Signature, target int64, rng *stats.RNG) (RunRecord, error) {
+	return RunOnceMounts(w, sig, target, rng, nil)
+}
+
+// RunOnceMounts is RunOnce with the injector armed only on the I/O routed
+// to the given mount points (empty = the whole file system). The workload
+// runs on a view whose armed tiers are wrapped by the injector; outcome
+// classification runs on the clean view of the same storage.
+func RunOnceMounts(w Workload, sig Signature, target int64, rng *stats.RNG, mounts []string) (RunRecord, error) {
+	base, err := buildWorld(w)
+	if err != nil {
+		return RunRecord{}, err
+	}
+	var st stageTimes
+	return runOnceTimed(base, w, sig, target, rng, mounts, &st)
+}
+
+// runOnceTimed performs one injection run on an already-built pristine
+// world — arm, run, classify on the clean view — filling st with the
+// stage costs the event stream reports.
+func runOnceTimed(base vfs.FS, w Workload, sig Signature, target int64, rng *stats.RNG, mounts []string, st *stageTimes) (RunRecord, error) {
+	inj := NewInjector(sig, target, rng)
+	armed, err := interposeMounts(base, mounts, inj.Wrap)
+	if err != nil {
+		return RunRecord{}, err
+	}
+	// Measure only the application's own I/O on the simulated clock: reset
+	// before Run (excluding Setup and any profiling charges, and making COW
+	// clones and fresh rebuilds indistinguishable), read before
+	// classification touches the world.
+	vfs.ResetSim(base)
+	t := time.Now()
+	runErr := runRecovering(w.Run, armed)
+	st.workNs = time.Since(t).Nanoseconds()
+	simNanos := int64(0)
+	if elapsed, ok := vfs.SimElapsed(base); ok {
+		simNanos = int64(elapsed)
+	}
+	t = time.Now()
+	outcome := classify.Crash
+	if w.Classify != nil {
+		outcome = w.Classify(base, runErr)
+	} else if runErr == nil {
+		outcome = classify.Benign
+	}
+	st.classifyNs = time.Since(t).Nanoseconds()
+	mut, fired := inj.Fired()
+	return RunRecord{
+		Target:   target,
+		Outcome:  outcome,
+		Mutation: mut,
+		Fired:    fired,
+		Shots:    inj.FiredShots(),
+		RunErr:   runErr,
+		SimNanos: simNanos,
+	}, nil
+}

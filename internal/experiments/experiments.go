@@ -58,9 +58,10 @@ type Options struct {
 	// runs from one pool). 0 falls back to Workers, then GOMAXPROCS
 	// (cmd flag -jobs).
 	Jobs int
-	// Progress, when set, receives the engine's per-campaign event stream
-	// (cmd flag -progress).
-	Progress func(core.EngineEvent)
+	// Events, when set, is the event bus the engine publishes every
+	// campaign's run-lifecycle stream to; the CLIs subscribe their
+	// progress renderer (-progress) and trace writer (-trace) here.
+	Events *core.EventBus
 	// RunGrid, when set, replaces Engine.Run for every campaign grid in
 	// this package: the persistence layer (internal/results.RunGrid via
 	// the CLIs' -out/-resume/-shard flags) injects itself here to stream
@@ -98,7 +99,7 @@ func (o Options) NewEngine() *core.Engine {
 	if jobs <= 0 {
 		jobs = o.Workers
 	}
-	return &core.Engine{Jobs: jobs, Progress: o.Progress}
+	return &core.Engine{Jobs: jobs, Events: o.Events}
 }
 
 // engine resolves the engine grids run on: the shared one when set.
